@@ -1,0 +1,31 @@
+# One binary per experiment id in DESIGN.md / EXPERIMENTS.md.
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# ${CMAKE_BINARY_DIR}/bench holds nothing but the bench executables and
+# `for b in build/bench/*; do $b; done` runs the whole suite.
+# All binaries accept --scale to shrink/grow the workloads; defaults are
+# sized so the full suite completes in a few minutes on a laptop core.
+
+function(plt_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE plt benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+plt_bench(bench_paper_artifacts)     # P1-P5
+plt_bench(bench_structure_size)      # E1
+plt_bench(bench_sparse_sweep)        # E2
+plt_bench(bench_dense_sweep)         # E3
+plt_bench(bench_topdown_crossover)   # E4
+plt_bench(bench_scalability)         # E5
+plt_bench(bench_subset_check)        # E6 (google-benchmark micro)
+plt_bench(bench_parallel_partition)  # E7
+plt_bench(bench_rank_ablation)       # E8
+plt_bench(bench_condensed)           # E9
+plt_bench(bench_incremental)         # E10
+plt_bench(bench_ooc_mining)          # E11
+plt_bench(bench_stream)              # E12
+plt_bench(bench_sampling)            # E13
+plt_bench(bench_filter_ablation)     # E14
+plt_bench(bench_candidate_family)    # E15
+plt_bench(bench_closed_native)       # E16

@@ -1,0 +1,88 @@
+// E9 — condensed representations (closed / maximal): the FIMI-standard
+// companion numbers to any frequent-itemset system (the paper's references
+// [13]/[16] report them). Shows the condensation ratio and the post-pass
+// cost on top of PLT-conditional mining, with the internal consistency
+// checker run on every row.
+#include <iostream>
+
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "datagen/transforms.hpp"
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+
+  harness::print_banner(std::cout, "E9", "closed & maximal itemsets",
+                        "condensed representations (refs [13]/[16])");
+
+  Table table({"dataset", "minsup", "frequent", "closed", "maximal",
+               "condense ratio", "mine", "closed pass", "maximal pass",
+               "consistent"});
+
+  const struct {
+    const char* dataset;
+    std::vector<double> fractions;
+    bool plant_twins;  // census-style perfectly-correlated attribute pairs
+  } cases[] = {
+      {"mushroom-like", {0.30, 0.20, 0.12}, true},
+      {"chess-like", {0.85, 0.75, 0.65}, true},
+      {"quest-sparse", {0.01, 0.004}, false},
+  };
+
+  for (const auto& c : cases) {
+    auto db = harness::scaled_dataset(c.dataset, scale * 0.5);
+    if (c.plant_twins) {
+      // Twin the three most universal attributes with fresh item ids —
+      // the deterministic attribute dependencies that make real mushroom/
+      // chess data condense under closed-itemset mining.
+      const Item base = db.max_item();
+      db = datagen::add_twin_items(
+          db, {{1, base + 1}, {2, base + 2}, {3, base + 3}});
+    }
+    for (const Count minsup : harness::support_grid(db, c.fractions)) {
+      Timer mine_timer;
+      const auto mined =
+          core::mine(db, minsup, core::Algorithm::kPltConditional);
+      const double mine_seconds = mine_timer.seconds();
+
+      Timer closed_timer;
+      const auto closed = core::closed_itemsets(mined.itemsets);
+      const double closed_seconds = closed_timer.seconds();
+
+      Timer maximal_timer;
+      const auto maximal = core::maximal_itemsets(mined.itemsets);
+      const double maximal_seconds = maximal_timer.seconds();
+
+      const auto violation =
+          core::check_condensed(mined.itemsets, closed, maximal);
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.1fx",
+                    closed.empty()
+                        ? 0.0
+                        : static_cast<double>(mined.itemsets.size()) /
+                              static_cast<double>(closed.size()));
+      table.add_row({c.dataset, std::to_string(minsup),
+                     std::to_string(mined.itemsets.size()),
+                     std::to_string(closed.size()),
+                     std::to_string(maximal.size()), ratio,
+                     format_duration(mine_seconds),
+                     format_duration(closed_seconds),
+                     format_duration(maximal_seconds),
+                     violation.empty() ? "yes" : violation});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nExpected shape: dense/correlated data condenses hard\n"
+               "(closed << frequent, maximal smaller still) while sparse\n"
+               "data condenses little; both post-passes cost a small\n"
+               "fraction of the mining time; the consistency checker\n"
+               "(coverage + support recovery) passes on every row.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// E3 — dense support sweep: "the conditional approach is best used when the
+// data is dense and a high support count is required" (paper §6). Sweeps
+// chess-like and mushroom-like data from high to moderate thresholds.
+#include <iostream>
+
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+
+  harness::print_banner(std::cout, "E3", "dense dataset support sweep",
+                        "section 6 (conditional approach on dense data at "
+                        "high support)");
+
+  const struct {
+    const char* dataset;
+    std::vector<double> fractions;
+  } cases[] = {
+      {"chess-like", {0.95, 0.90, 0.85, 0.80, 0.70, 0.60}},
+      {"mushroom-like", {0.40, 0.30, 0.20, 0.15, 0.10}},
+  };
+
+  for (const auto& c : cases) {
+    const auto db = harness::scaled_dataset(c.dataset, scale);
+    harness::SweepConfig config;
+    config.dataset_name = c.dataset;
+    config.db = &db;
+    config.supports = harness::support_grid(db, c.fractions);
+    config.algorithms = {
+        core::Algorithm::kPltConditional, core::Algorithm::kApriori,
+        core::Algorithm::kFpGrowth,       core::Algorithm::kDEclat,
+    };
+    const auto cells = harness::run_sweep(config);
+    harness::print_sweep(std::cout, c.dataset, cells);
+    harness::print_winners(std::cout, cells);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: on dense data the itemset counts explode as\n"
+               "support falls; Apriori's level-wise counting collapses first\n"
+               "while the projection-based miners (PLT conditional,\n"
+               "FP-growth, dEclat) track the output size.\n";
+  return 0;
+}

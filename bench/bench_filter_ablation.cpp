@@ -1,0 +1,47 @@
+// E14 — conditional-filtering ablation: the paper's literal Algorithm 3
+// builds each conditional PLT from raw prefixes, while §5.1's discussion of
+// the anti-monotone property implies filtering locally-infrequent items
+// first (as FP-growth does). Both are implemented; this bench quantifies
+// the filtering optimization across sparse and dense workloads (results
+// are cross-checked equal in every cell by the harness).
+#include <iostream>
+
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+
+  harness::print_banner(std::cout, "E14",
+                        "conditional item-filtering ablation",
+                        "section 5.1 (anti-monotone utilization)");
+
+  const struct {
+    const char* dataset;
+    std::vector<double> fractions;
+  } cases[] = {
+      {"quest-sparse", {0.01, 0.004, 0.002}},
+      {"mushroom-like", {0.30, 0.20, 0.12}},
+      {"short-dense", {0.05, 0.01}},
+  };
+
+  for (const auto& c : cases) {
+    const auto db = harness::scaled_dataset(c.dataset, scale * 0.5);
+    harness::SweepConfig config;
+    config.dataset_name = c.dataset;
+    config.db = &db;
+    config.supports = harness::support_grid(db, c.fractions);
+    config.algorithms = {core::Algorithm::kPltConditional,
+                         core::Algorithm::kPltConditionalNoFilter};
+    const auto cells = harness::run_sweep(config);
+    harness::print_sweep(std::cout, c.dataset, cells);
+    std::cout << '\n';
+  }
+  std::cout << "Expected shape: filtering always wins, and the gap widens\n"
+               "as thresholds fall (unfiltered conditional PLTs drag\n"
+               "locally-infrequent items through every recursion level).\n";
+  return 0;
+}

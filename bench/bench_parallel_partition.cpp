@@ -1,0 +1,66 @@
+// E7 — partitioned parallel mining: the paper's §6 claim that the PLT's
+// partition criteria split the mining into independent per-item tasks.
+// Reports thread-count scaling of the partition miner against the
+// sequential conditional miner, verifying exact agreement. On a single
+// hardware core this demonstrates decomposition overhead rather than
+// speedup; the table reports both so the shape is interpretable anywhere.
+#include <iostream>
+
+#include "core/miner.hpp"
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "parallel/partition_miner.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/memory.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+
+  harness::print_banner(std::cout, "E7", "partitioned parallel mining",
+                        "section 6 (partition criteria -> separate tasks)");
+
+  Table table({"dataset", "threads", "build", "mine", "total", "structure",
+               "frequent", "agrees"});
+  for (const char* dataset : {"quest-sparse", "mushroom-like"}) {
+    const auto db = harness::scaled_dataset(dataset, scale * 0.5);
+    const Count minsup = harness::absolute_support(
+        db, std::string(dataset) == "quest-sparse" ? 0.005 : 0.25);
+
+    const auto sequential =
+        core::mine(db, minsup, core::Algorithm::kPltConditional);
+    table.add_row({dataset, "seq",
+                   format_duration(sequential.build_seconds),
+                   format_duration(sequential.mine_seconds),
+                   format_duration(sequential.build_seconds +
+                                   sequential.mine_seconds),
+                   format_bytes(sequential.structure_bytes),
+                   std::to_string(sequential.itemsets.size()), "-"});
+
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      parallel::ParallelOptions options;
+      options.threads = threads;
+      const auto result = parallel::mine_parallel(db, minsup, options);
+      const bool agrees = core::FrequentItemsets::equal(
+          sequential.itemsets, result.itemsets);
+      table.add_row({dataset, std::to_string(threads),
+                     format_duration(result.build_seconds),
+                     format_duration(result.mine_seconds),
+                     format_duration(result.build_seconds +
+                                     result.mine_seconds),
+                     format_bytes(result.structure_bytes),
+                     std::to_string(result.itemsets.size()),
+                     agrees ? "yes" : "NO"});
+    }
+  }
+  std::cout << table.to_text();
+  std::cout << "\nExpected shape: identical itemsets at every thread count;\n"
+               "mine time shrinks with threads on multi-core hosts and is\n"
+               "flat (plus small pool overhead) on a single core. The\n"
+               "partition build pass costs one extra traversal of the\n"
+               "database relative to the sequential miner.\n";
+  return 0;
+}

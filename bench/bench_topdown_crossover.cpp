@@ -1,0 +1,62 @@
+// E4 — top-down vs conditional crossover: "the top down approach does not
+// employ the anti-monotone property, which makes it suitable for situations
+// where a very low minimum support is provided" (paper §6). On short-dense
+// data the top-down expansion cost is support-independent while the
+// conditional cost grows as the threshold falls — this bench sweeps the
+// threshold down to 1 and reports where (if anywhere) top-down wins.
+// Also ablates the two top-down variants (canonical vs paper-staged sweep).
+#include <iostream>
+
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+
+  harness::print_banner(std::cout, "E4",
+                        "top-down vs conditional across the support range",
+                        "section 6 (top-down for very low minimum support)");
+
+  const auto db = harness::scaled_dataset("short-dense", scale);
+  harness::SweepConfig config;
+  config.dataset_name = "short-dense";
+  config.db = &db;
+  config.supports =
+      harness::support_grid(db, {0.5, 0.2, 0.05, 0.01, 0.002, 0.0001});
+  config.algorithms = {
+      core::Algorithm::kPltConditional,
+      core::Algorithm::kPltTopDownCanonical,
+      core::Algorithm::kPltTopDownSweep,
+  };
+  const auto cells = harness::run_sweep(config);
+  harness::print_sweep(std::cout, "short-dense", cells);
+  harness::print_winners(std::cout, cells);
+
+  // The long-transaction failure mode: the guard must trip rather than blow
+  // up memory (documented behaviour, shown here on chess-like data).
+  const auto dense = harness::scaled_dataset("chess-like", 0.1 * scale);
+  harness::SweepConfig guard;
+  guard.dataset_name = "chess-like";
+  guard.db = &dense;
+  guard.supports = harness::support_grid(dense, {0.05});
+  guard.algorithms = {core::Algorithm::kPltTopDownCanonical};
+  guard.cross_check = false;
+  const auto guard_cells = harness::run_sweep(guard);
+  std::cout << '\n';
+  harness::print_sweep(std::cout,
+                       "long transactions trip the top-down guard",
+                       guard_cells);
+
+  std::cout << "\nExpected shape: top-down pays a near-constant expansion\n"
+               "cost across the whole sweep (it enumerates every subset\n"
+               "regardless of the threshold), so it loses badly at high\n"
+               "support and converges with/overtakes the conditional\n"
+               "approach as minsup approaches 1, where the conditional\n"
+               "recursion degenerates to enumerating the same subsets plus\n"
+               "projection overhead. On long transactions it must refuse\n"
+               "(GUARD) instead of exhausting memory.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "baselines/ais.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/counting.hpp"
+#include "tdb/remap.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Item i : s) {
+      h ^= i;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+void mine_ais(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = mapped.memory_usage();
+  }
+
+  Timer mine_timer;
+  Itemset original;
+  const auto emit = [&](const Itemset& mapped_items, Count support) {
+    original.clear();
+    for (const Item id : mapped_items) original.push_back(remap.unmap(id));
+    std::sort(original.begin(), original.end());
+    sink(original, support);
+  };
+
+  // L1 from the remap pass.
+  std::vector<Itemset> frontier;
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+    emit({r}, remap.support[r - 1]);
+    frontier.push_back({r});
+  }
+
+  std::size_t peak_bytes = 0;
+  while (!frontier.empty()) {
+    // One scan: every frontier itemset contained in a transaction spawns
+    // counted extensions by the transaction's items beyond its maximum —
+    // the AIS on-the-fly generation (no join, no subset prune).
+    std::unordered_map<Itemset, Count, ItemsetHash> candidates;
+    Itemset extended;
+    for (std::size_t t = 0; t < mapped.size(); ++t) {
+      const auto row = mapped[t];
+      for (const Itemset& f : frontier) {
+        if (f.size() >= row.size()) continue;
+        if (!std::includes(row.begin(), row.end(), f.begin(), f.end()))
+          continue;
+        const auto beyond = std::upper_bound(row.begin(), row.end(),
+                                             f.back());
+        for (auto it = beyond; it != row.end(); ++it) {
+          extended = f;
+          extended.push_back(*it);
+          candidates[extended] += 1;
+        }
+      }
+    }
+    peak_bytes = std::max(
+        peak_bytes, candidates.size() * (sizeof(Itemset) + sizeof(Count) +
+                                         (frontier.empty()
+                                              ? 0
+                                              : frontier.front().size() + 1) *
+                                             sizeof(Item)));
+
+    std::vector<Itemset> next_frontier;
+    for (const auto& [items, count] : candidates) {
+      if (count < min_support) continue;
+      emit(items, count);
+      next_frontier.push_back(items);
+    }
+    std::sort(next_frontier.begin(), next_frontier.end());
+    frontier = std::move(next_frontier);
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += peak_bytes;
+  }
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,16 @@
+// AIS (Agrawal, Imielinski & Swami, SIGMOD'93 — the paper's reference [1],
+// the *first* association-mining algorithm and the first entry in §3's
+// candidate-generation list): candidates are generated on the fly during
+// the scan — every frequent (k-1)-itemset found in a transaction is
+// extended with the transaction's higher items — with no join and no
+// anti-monotone prune. Kept faithful to show why Apriori's prune mattered.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+void mine_ais(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+}  // namespace plt::baselines

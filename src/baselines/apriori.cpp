@@ -1,0 +1,462 @@
+#include "baselines/apriori.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tdb/remap.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+// Itemsets of one level, stored flat; items are remapped ids (1..n) kept
+// sorted within each itemset.
+struct Level {
+  std::size_t k = 0;                 // itemset length
+  std::vector<Item> items;           // k * count entries
+  std::vector<Count> counts;
+
+  std::size_t size() const { return counts.size(); }
+  bool empty() const { return counts.empty(); }
+  std::span<const Item> itemset(std::size_t i) const {
+    return {items.data() + i * k, k};
+  }
+  void add(std::span<const Item> itemset_items) {
+    items.insert(items.end(), itemset_items.begin(), itemset_items.end());
+    counts.push_back(0);
+  }
+  std::size_t memory_usage() const {
+    return items.capacity() * sizeof(Item) +
+           counts.capacity() * sizeof(Count);
+  }
+};
+
+bool lexicographic_less(std::span<const Item> a, std::span<const Item> b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// True iff every (k-1)-subset of `candidate` appears in the sorted previous
+// frequent level — the anti-monotone prune.
+bool all_subsets_frequent(const Level& prev, std::span<const Item> candidate,
+                          std::vector<Item>& scratch) {
+  const std::size_t k = candidate.size();
+  scratch.resize(k - 1);
+  for (std::size_t drop = 0; drop < k; ++drop) {
+    // The two subsets dropping the last two elements are the join parents —
+    // frequent by construction — so skip them.
+    if (drop + 2 >= k) continue;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      if (i != drop) scratch[w++] = candidate[i];
+    // Binary search the previous level (it is kept in lexicographic order).
+    std::size_t lo = 0, hi = prev.size();
+    bool found = false;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const auto mid_items = prev.itemset(mid);
+      if (std::equal(mid_items.begin(), mid_items.end(), scratch.begin())) {
+        found = true;
+        break;
+      }
+      if (lexicographic_less(mid_items, scratch))
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+// Candidate join: pairs of frequent (k-1)-itemsets sharing their first k-2
+// items produce a k-candidate; prune by subset check.
+Level generate_candidates(const Level& prev, std::vector<Item>& scratch) {
+  Level next;
+  next.k = prev.k + 1;
+  std::vector<Item> candidate(next.k);
+  for (std::size_t a = 0; a < prev.size(); ++a) {
+    const auto ia = prev.itemset(a);
+    for (std::size_t b = a + 1; b < prev.size(); ++b) {
+      const auto ib = prev.itemset(b);
+      if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) break;
+      std::copy(ia.begin(), ia.end(), candidate.begin());
+      candidate[next.k - 1] = ib.back();
+      if (all_subsets_frequent(prev, candidate, scratch))
+        next.add(candidate);
+    }
+  }
+  return next;
+}
+
+// Prefix trie over the candidates of one level, for subset counting.
+class CandidateTrie {
+ public:
+  explicit CandidateTrie(const Level& level) {
+    k_ = level.k;
+    nodes_.push_back(Node{});  // root
+    for (std::size_t c = 0; c < level.size(); ++c) {
+      std::uint32_t node = 0;
+      const auto items = level.itemset(c);
+      for (std::size_t d = 0; d < k_; ++d) node = child(node, items[d]);
+      nodes_[node].candidate = static_cast<std::uint32_t>(c);
+    }
+  }
+
+  // Adds 1 to the count of every candidate contained in `row`.
+  void count(std::span<const Item> row, Level& level) const {
+    walk(0, row, 0, level);
+  }
+
+  std::size_t memory_usage() const {
+    std::size_t bytes = nodes_.size() * sizeof(Node);
+    for (const auto& n : nodes_)
+      bytes += n.edges.capacity() * sizeof(Edge);
+    return bytes;
+  }
+
+ private:
+  struct Edge {
+    Item item;
+    std::uint32_t node;
+  };
+  struct Node {
+    std::vector<Edge> edges;  // sorted by item
+    std::uint32_t candidate = 0xffffffffu;
+  };
+
+  std::uint32_t child(std::uint32_t node, Item item) {
+    auto& edges = nodes_[node].edges;
+    const auto it = std::lower_bound(
+        edges.begin(), edges.end(), item,
+        [](const Edge& e, Item i) { return e.item < i; });
+    if (it != edges.end() && it->item == item) return it->node;
+    nodes_.push_back(Node{});
+    const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+    // `edges` may have been invalidated by the push_back via nodes_ growth,
+    // so re-take the reference.
+    auto& fresh = nodes_[node].edges;
+    const auto pos = std::lower_bound(
+        fresh.begin(), fresh.end(), item,
+        [](const Edge& e, Item i) { return e.item < i; });
+    fresh.insert(pos, Edge{item, id});
+    return id;
+  }
+
+  void walk(std::uint32_t node, std::span<const Item> row, std::size_t depth,
+            Level& level) const {
+    const Node& n = nodes_[node];
+    if (n.candidate != 0xffffffffu) {
+      level.counts[n.candidate] += 1;
+      return;  // leaves have no edges at a fixed depth k
+    }
+    if (depth >= k_) return;
+    // Merge-walk the sorted row against the sorted edges.
+    std::size_t r = 0, e = 0;
+    while (r < row.size() && e < n.edges.size()) {
+      if (row[r] < n.edges[e].item) {
+        ++r;
+      } else if (row[r] > n.edges[e].item) {
+        ++e;
+      } else {
+        walk(n.edges[e].node, row.subspan(r + 1), depth + 1, level);
+        ++r;
+        ++e;
+      }
+    }
+  }
+
+  std::size_t k_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace
+
+void mine_apriori(const tdb::Database& db, Count min_support,
+                  const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = mapped.memory_usage();
+  }
+
+  Timer mine_timer;
+  // L1.
+  Level current;
+  current.k = 1;
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+    const Item id = r;
+    current.add(std::span<const Item>(&id, 1));
+    current.counts.back() = remap.support[r - 1];
+  }
+  std::vector<Item> scratch;
+  Itemset original;
+  std::size_t peak_bytes = 0;
+  while (!current.empty()) {
+    // Report this level.
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (current.counts[i] < min_support) continue;
+      const auto items = current.itemset(i);
+      original.clear();
+      for (const Item id : items) original.push_back(remap.unmap(id));
+      std::sort(original.begin(), original.end());
+      sink(original, current.counts[i]);
+    }
+    // Keep only the frequent itemsets (lexicographic order is preserved).
+    Level survivors;
+    survivors.k = current.k;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      if (current.counts[i] < min_support) continue;
+      survivors.add(current.itemset(i));
+      survivors.counts.back() = current.counts[i];
+    }
+    if (survivors.size() < 2) break;
+
+    Level next = generate_candidates(survivors, scratch);
+    if (next.empty()) break;
+    CandidateTrie trie(next);
+    peak_bytes = std::max(peak_bytes, next.memory_usage() +
+                                          trie.memory_usage());
+    for (std::size_t t = 0; t < mapped.size(); ++t)
+      trie.count(mapped[t], next);
+    current = std::move(next);
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += peak_bytes;
+  }
+}
+
+namespace {
+
+// Join with generator tracking for AprioriTid: candidate k-itemsets plus
+// the indices of their two (k-1)-generators within the previous level.
+struct TidCandidates {
+  Level level;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> generators;
+};
+
+TidCandidates generate_candidates_tid(const Level& prev,
+                                      std::vector<Item>& scratch) {
+  TidCandidates out;
+  out.level.k = prev.k + 1;
+  std::vector<Item> candidate(out.level.k);
+  for (std::size_t a = 0; a < prev.size(); ++a) {
+    const auto ia = prev.itemset(a);
+    for (std::size_t b = a + 1; b < prev.size(); ++b) {
+      const auto ib = prev.itemset(b);
+      if (!std::equal(ia.begin(), ia.end() - 1, ib.begin())) break;
+      std::copy(ia.begin(), ia.end(), candidate.begin());
+      candidate[out.level.k - 1] = ib.back();
+      if (all_subsets_frequent(prev, candidate, scratch)) {
+        out.level.add(candidate);
+        out.generators.emplace_back(static_cast<std::uint32_t>(a),
+                                    static_cast<std::uint32_t>(b));
+      }
+    }
+  }
+  return out;
+}
+
+void report_level(const Level& level, const tdb::Remap& remap,
+                  Count min_support, const ItemsetSink& sink,
+                  Itemset& scratch) {
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    if (level.counts[i] < min_support) continue;
+    scratch.clear();
+    for (const Item id : level.itemset(i)) scratch.push_back(remap.unmap(id));
+    std::sort(scratch.begin(), scratch.end());
+    sink(scratch, level.counts[i]);
+  }
+}
+
+Level keep_frequent(const Level& level, Count min_support) {
+  Level survivors;
+  survivors.k = level.k;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    if (level.counts[i] < min_support) continue;
+    survivors.add(level.itemset(i));
+    survivors.counts.back() = level.counts[i];
+  }
+  return survivors;
+}
+
+}  // namespace
+
+void mine_apriori_tid(const tdb::Database& db, Count min_support,
+                      const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = mapped.memory_usage();
+  }
+
+  Timer mine_timer;
+  Itemset original;
+
+  // L1 and the initial encoded database: each transaction becomes the
+  // sorted list of L1 indices (frequent item id - 1) it contains.
+  Level current;
+  current.k = 1;
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+    current.add(std::span<const Item>(&r, 1));
+    current.counts.back() = remap.support[r - 1];
+  }
+  report_level(current, remap, min_support, sink, original);
+  Level frequent_prev = keep_frequent(current, min_support);
+
+  std::vector<std::vector<std::uint32_t>> encoded(mapped.size());
+  for (std::size_t t = 0; t < mapped.size(); ++t) {
+    encoded[t].reserve(mapped[t].size());
+    for (const Item item : mapped[t])
+      encoded[t].push_back(item - 1);  // L1 index
+  }
+
+  std::vector<Item> scratch;
+  std::size_t peak_bytes = 0;
+  while (frequent_prev.size() >= 2) {
+    TidCandidates candidates = generate_candidates_tid(frequent_prev,
+                                                       scratch);
+    if (candidates.level.empty()) break;
+
+    // Generator-pair lookup: (a,b) -> candidate index.
+    std::unordered_map<std::uint64_t, std::uint32_t> by_generators;
+    by_generators.reserve(candidates.generators.size() * 2);
+    for (std::uint32_t c = 0; c < candidates.generators.size(); ++c) {
+      const auto [a, b] = candidates.generators[c];
+      by_generators.emplace((static_cast<std::uint64_t>(a) << 32) | b, c);
+    }
+
+    // Pass k: intersect generator pairs inside each encoded transaction;
+    // the raw database is never touched again (the AprioriTid idea).
+    std::vector<std::vector<std::uint32_t>> next_encoded(encoded.size());
+    for (std::size_t t = 0; t < encoded.size(); ++t) {
+      const auto& list = encoded[t];
+      auto& next = next_encoded[t];
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        for (std::size_t j = i + 1; j < list.size(); ++j) {
+          const auto it = by_generators.find(
+              (static_cast<std::uint64_t>(list[i]) << 32) | list[j]);
+          if (it == by_generators.end()) continue;
+          candidates.level.counts[it->second] += 1;
+          next.push_back(it->second);
+        }
+      }
+      std::sort(next.begin(), next.end());
+    }
+
+    std::size_t encoded_bytes = 0;
+    for (const auto& list : next_encoded)
+      encoded_bytes += list.capacity() * sizeof(std::uint32_t);
+    peak_bytes = std::max(peak_bytes,
+                          encoded_bytes + candidates.level.memory_usage());
+
+    report_level(candidates.level, remap, min_support, sink, original);
+    const Level survivors = keep_frequent(candidates.level, min_support);
+
+    // Re-index encoded lists from candidate ids to survivor ranks.
+    std::vector<std::uint32_t> survivor_rank(candidates.level.size(),
+                                             0xffffffffu);
+    std::uint32_t rank = 0;
+    for (std::uint32_t c = 0; c < candidates.level.size(); ++c)
+      if (candidates.level.counts[c] >= min_support) survivor_rank[c] = rank++;
+    for (auto& list : next_encoded) {
+      std::size_t w = 0;
+      for (const std::uint32_t c : list)
+        if (survivor_rank[c] != 0xffffffffu) list[w++] = survivor_rank[c];
+      list.resize(w);
+    }
+
+    encoded = std::move(next_encoded);
+    frequent_prev = survivors;
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += peak_bytes;
+  }
+}
+
+void mine_dhp(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats,
+              std::size_t hash_buckets) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  PLT_ASSERT(hash_buckets >= 2, "need at least two hash buckets");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+
+  // Pass 1 extra work (the DHP filter): hash every item pair of every
+  // transaction into a bucket counter.
+  std::vector<Count> buckets(hash_buckets, 0);
+  const auto bucket_of = [&](Item a, Item b) {
+    std::uint64_t h = (static_cast<std::uint64_t>(a) << 32) | b;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h % hash_buckets);
+  };
+  for (std::size_t t = 0; t < mapped.size(); ++t) {
+    const auto row = mapped[t];
+    for (std::size_t i = 0; i < row.size(); ++i)
+      for (std::size_t j = i + 1; j < row.size(); ++j)
+        buckets[bucket_of(row[i], row[j])] += 1;
+  }
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes =
+        mapped.memory_usage() + buckets.capacity() * sizeof(Count);
+  }
+
+  Timer mine_timer;
+  Itemset original;
+  Level current;
+  current.k = 1;
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+    current.add(std::span<const Item>(&r, 1));
+    current.counts.back() = remap.support[r - 1];
+  }
+  std::vector<Item> scratch;
+  std::size_t peak_bytes = 0;
+  std::size_t pruned_by_hash = 0;
+  while (!current.empty()) {
+    report_level(current, remap, min_support, sink, original);
+    Level survivors = keep_frequent(current, min_support);
+    if (survivors.size() < 2) break;
+
+    Level next = generate_candidates(survivors, scratch);
+    if (next.k == 2 && !next.empty()) {
+      // The DHP cut: a pair whose bucket total is below min_support cannot
+      // be frequent (the bucket over-counts it).
+      Level filtered;
+      filtered.k = 2;
+      for (std::size_t c = 0; c < next.size(); ++c) {
+        const auto pair = next.itemset(c);
+        if (buckets[bucket_of(pair[0], pair[1])] >= min_support)
+          filtered.add(pair);
+        else
+          ++pruned_by_hash;
+      }
+      next = std::move(filtered);
+    }
+    if (next.empty()) break;
+    CandidateTrie trie(next);
+    peak_bytes =
+        std::max(peak_bytes, next.memory_usage() + trie.memory_usage());
+    for (std::size_t t = 0; t < mapped.size(); ++t)
+      trie.count(mapped[t], next);
+    current = std::move(next);
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += peak_bytes;
+  }
+  (void)pruned_by_hash;
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,31 @@
+// Apriori (Agrawal & Srikant, VLDB'94 — the paper's reference [2]):
+// level-wise candidate generation with the anti-monotone prune, counting via
+// a candidate prefix trie walked once per transaction per pass. This is the
+// canonical candidate-generation baseline the paper's §3 describes.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+void mine_apriori(const tdb::Database& db, Count min_support,
+                  const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+/// AprioriTid (same paper, [2]): after the first pass, counting never
+/// touches the raw database again — each transaction is replaced by the set
+/// of candidates it contains, and pass k intersects generator pairs inside
+/// those sets. Wins when the encoded sets shrink quickly.
+void mine_apriori_tid(const tdb::Database& db, Count min_support,
+                      const ItemsetSink& sink,
+                      BaselineStats* stats = nullptr);
+
+/// DHP (Park, Chen & Yu, SIGMOD'95 — the paper's reference [5]): Apriori
+/// with a hash filter — while counting pass k, every (k+1)-subset of each
+/// transaction is hashed into a bucket-counter table, and pass-(k+1)
+/// candidates whose bucket cannot reach min_support are pruned before
+/// counting.
+void mine_dhp(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats = nullptr,
+              std::size_t hash_buckets = 1 << 16);
+
+}  // namespace plt::baselines

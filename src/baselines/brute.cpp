@@ -1,0 +1,49 @@
+#include "baselines/brute.hpp"
+
+#include <algorithm>
+
+namespace plt::baselines {
+
+namespace {
+
+Count count_support(const tdb::Database& db, const Itemset& itemset) {
+  Count support = 0;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto row = db[t];
+    if (std::includes(row.begin(), row.end(), itemset.begin(),
+                      itemset.end()))
+      support += 1;
+  }
+  return support;
+}
+
+void extend(const tdb::Database& db, Count min_support,
+            const std::vector<Item>& alphabet, std::size_t next,
+            Itemset& current, const ItemsetSink& sink) {
+  for (std::size_t i = next; i < alphabet.size(); ++i) {
+    current.push_back(alphabet[i]);
+    const Count support = count_support(db, current);
+    // Anti-monotone: no superset of an infrequent set can be frequent, so
+    // pruning here keeps the oracle complete.
+    if (support >= min_support) {
+      sink(current, support);
+      extend(db, min_support, alphabet, i + 1, current, sink);
+    }
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+void mine_brute_force(const tdb::Database& db, Count min_support,
+                      const ItemsetSink& sink) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  const auto supports = db.item_supports();
+  std::vector<Item> alphabet;
+  for (Item i = 0; i < supports.size(); ++i)
+    if (supports[i] >= min_support) alphabet.push_back(i);
+  Itemset current;
+  extend(db, min_support, alphabet, 0, current, sink);
+}
+
+}  // namespace plt::baselines

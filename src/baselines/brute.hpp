@@ -1,0 +1,14 @@
+// Brute-force oracle: depth-first enumeration with per-candidate database
+// scans. Exponential but obviously correct — the ground truth for every
+// agreement test. Never benchmarked.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+/// Emits every frequent itemset of `db` at absolute support `min_support`.
+void mine_brute_force(const tdb::Database& db, Count min_support,
+                      const ItemsetSink& sink);
+
+}  // namespace plt::baselines

@@ -1,0 +1,144 @@
+#include "baselines/charm.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tdb/remap.hpp"
+#include "tdb/vertical.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+struct Node {
+  Itemset items;           // remapped ids, sorted
+  std::vector<Tid> tids;   // sorted tidset
+};
+
+// Registry of emitted closed sets for the subsumption check, bucketed by
+// support (a subsuming superset always has the same support).
+class ClosedRegistry {
+ public:
+  // True if some registered itemset with the same support contains `items`.
+  bool subsumed(const Itemset& items, Count support) const {
+    const auto it = by_support_.find(support);
+    if (it == by_support_.end()) return false;
+    for (const auto& z : it->second) {
+      if (z.size() <= items.size()) continue;
+      if (std::includes(z.begin(), z.end(), items.begin(), items.end()))
+        return true;
+    }
+    return false;
+  }
+
+  void add(Itemset items, Count support) {
+    by_support_[support].push_back(std::move(items));
+  }
+
+ private:
+  std::unordered_map<Count, std::vector<Itemset>> by_support_;
+};
+
+struct Ctx {
+  const tdb::Remap& remap;
+  Count min_support;
+  const ItemsetSink& sink;
+  ClosedRegistry registry;
+  Itemset scratch;
+  std::size_t peak_bytes = 0;
+
+  void emit(const Itemset& items, Count support) {
+    scratch.clear();
+    for (const Item id : items) scratch.push_back(remap.unmap(id));
+    std::sort(scratch.begin(), scratch.end());
+    sink(scratch, support);
+  }
+};
+
+Itemset merge_items(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+void charm_extend(Ctx& ctx, std::vector<Node>& klass) {
+  // Process in increasing tidset size (the CHARM heuristic: small tidsets
+  // first maximizes merge opportunities).
+  std::sort(klass.begin(), klass.end(), [](const Node& a, const Node& b) {
+    if (a.tids.size() != b.tids.size())
+      return a.tids.size() < b.tids.size();
+    return a.items < b.items;
+  });
+
+  std::size_t class_bytes = 0;
+  for (const Node& n : klass) class_bytes += n.tids.capacity() * sizeof(Tid);
+  ctx.peak_bytes = std::max(ctx.peak_bytes, class_bytes);
+
+  std::vector<bool> absorbed(klass.size(), false);
+  for (std::size_t i = 0; i < klass.size(); ++i) {
+    if (absorbed[i]) continue;
+    Itemset closure = klass[i].items;
+
+    // Pass 1 (properties 1 & 2): any j whose tidset contains t_i joins the
+    // closure; equal tidsets are absorbed entirely.
+    for (std::size_t j = i + 1; j < klass.size(); ++j) {
+      if (absorbed[j]) continue;
+      const auto shared = tdb::intersect(klass[i].tids, klass[j].tids);
+      if (shared.size() != klass[i].tids.size()) continue;  // t_i ⊄ t_j
+      closure = merge_items(closure, klass[j].items);
+      if (shared.size() == klass[j].tids.size()) absorbed[j] = true;
+    }
+
+    // Pass 2 (properties 3 & 4): true sub-intersections become children.
+    std::vector<Node> children;
+    for (std::size_t j = i + 1; j < klass.size(); ++j) {
+      if (absorbed[j]) continue;
+      auto shared = tdb::intersect(klass[i].tids, klass[j].tids);
+      if (shared.size() == klass[i].tids.size()) continue;  // handled above
+      if (shared.size() < ctx.min_support) continue;
+      children.push_back(
+          Node{merge_items(closure, klass[j].items), std::move(shared)});
+    }
+    if (!children.empty()) charm_extend(ctx, children);
+
+    // Emit the closure unless a superset with the same support exists.
+    const Count support = klass[i].tids.size();
+    if (!ctx.registry.subsumed(closure, support)) {
+      ctx.registry.add(closure, support);
+      ctx.emit(closure, support);
+    }
+  }
+}
+
+}  // namespace
+
+void mine_charm(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  const tdb::VerticalView vertical(mapped);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = vertical.memory_usage();
+  }
+
+  Timer mine_timer;
+  Ctx ctx{remap, min_support, sink, {}, {}, 0};
+  std::vector<Node> top;
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+    const auto tids = vertical.tidset(r);
+    top.push_back(Node{{r}, std::vector<Tid>(tids.begin(), tids.end())});
+  }
+  if (!top.empty()) charm_extend(ctx, top);
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += ctx.peak_bytes;
+  }
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,17 @@
+// CHARM (Zaki & Hsiao, SDM'02 — the closed-itemset branch of the vertical
+// family the paper's §3 taxonomy cites via Zaki [12]/[16]): explores the
+// itemset-tidset search tree, merging nodes whose tidsets are equal or
+// nested (the four CHARM properties) so closed itemsets are produced
+// directly, without materializing the full frequent collection first.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+/// Emits every CLOSED frequent itemset of `db` at `min_support`.
+/// Results equal core::closed_itemsets(full mining) — tests enforce it.
+void mine_charm(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+}  // namespace plt::baselines

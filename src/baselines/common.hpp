@@ -1,0 +1,20 @@
+// Shared bits for the baseline miners (Apriori, FP-growth, Eclat/dEclat,
+// brute force). Every baseline reports itemsets in original item ids through
+// the same ItemsetSink the PLT miners use, so results are interchangeable.
+#pragma once
+
+#include "core/itemset_collector.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::baselines {
+
+using core::ItemsetSink;
+
+/// Timing/size accounting filled in by each baseline when requested.
+struct BaselineStats {
+  double build_seconds = 0.0;
+  double mine_seconds = 0.0;
+  std::size_t structure_bytes = 0;
+};
+
+}  // namespace plt::baselines

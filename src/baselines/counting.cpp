@@ -1,0 +1,69 @@
+#include "baselines/counting.hpp"
+
+#include <algorithm>
+
+namespace plt::baselines {
+
+CountingTrie::CountingTrie(const std::vector<Itemset>& candidates)
+    : counts_(candidates.size(), 0) {
+  nodes_.push_back(Node{});
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::uint32_t node = 0;
+    for (const Item item : candidates[c]) node = child(node, item);
+    nodes_[node].candidate = static_cast<std::uint32_t>(c);
+  }
+}
+
+std::uint32_t CountingTrie::child(std::uint32_t node, Item item) {
+  const auto it = std::lower_bound(
+      nodes_[node].edges.begin(), nodes_[node].edges.end(), item,
+      [](const Edge& e, Item i) { return e.item < i; });
+  if (it != nodes_[node].edges.end() && it->item == item) return it->node;
+  nodes_.push_back(Node{});
+  const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+  auto& fresh = nodes_[node].edges;  // re-take: nodes_ may have reallocated
+  fresh.insert(std::lower_bound(fresh.begin(), fresh.end(), item,
+                                [](const Edge& e, Item i) {
+                                  return e.item < i;
+                                }),
+               Edge{item, id});
+  return id;
+}
+
+void CountingTrie::count(std::span<const Item> row) { walk(0, row); }
+
+void CountingTrie::walk(std::uint32_t node, std::span<const Item> row) {
+  const Node& n = nodes_[node];
+  if (n.candidate != 0xffffffffu) counts_[n.candidate] += 1;
+  std::size_t r = 0, e = 0;
+  while (r < row.size() && e < n.edges.size()) {
+    if (row[r] < n.edges[e].item) {
+      ++r;
+    } else if (row[r] > n.edges[e].item) {
+      ++e;
+    } else {
+      walk(n.edges[e].node, row.subspan(r + 1));
+      ++r;
+      ++e;
+    }
+  }
+}
+
+std::size_t CountingTrie::memory_usage() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node) +
+                      counts_.capacity() * sizeof(Count);
+  for (const auto& n : nodes_) bytes += n.edges.capacity() * sizeof(Edge);
+  return bytes;
+}
+
+std::vector<Count> count_supports(const tdb::Database& db,
+                                  const std::vector<Itemset>& candidates) {
+  CountingTrie trie(candidates);
+  for (std::size_t t = 0; t < db.size(); ++t) trie.count(db[t]);
+  std::vector<Count> out(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c)
+    out[c] = trie.support(c);
+  return out;
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,48 @@
+// Shared subset-counting utilities for the candidate-generation miners:
+// a multi-length prefix trie that counts the exact support of a fixed
+// candidate set in one pass over the database.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tdb/database.hpp"
+#include "util/common.hpp"
+
+namespace plt::baselines {
+
+class CountingTrie {
+ public:
+  /// Builds the trie over sorted candidate itemsets (any mix of lengths).
+  explicit CountingTrie(const std::vector<Itemset>& candidates);
+
+  /// Adds 1 to the count of every candidate contained in the sorted `row`.
+  void count(std::span<const Item> row);
+
+  /// Count of the i-th candidate (input order).
+  Count support(std::size_t candidate) const { return counts_[candidate]; }
+
+  std::size_t memory_usage() const;
+
+ private:
+  struct Edge {
+    Item item;
+    std::uint32_t node;
+  };
+  struct Node {
+    std::vector<Edge> edges;  // sorted by item
+    std::uint32_t candidate = 0xffffffffu;
+  };
+
+  std::uint32_t child(std::uint32_t node, Item item);
+  void walk(std::uint32_t node, std::span<const Item> row);
+
+  std::vector<Node> nodes_;
+  std::vector<Count> counts_;
+};
+
+/// Convenience: exact supports of `candidates` over `db` in one pass.
+std::vector<Count> count_supports(const tdb::Database& db,
+                                  const std::vector<Itemset>& candidates);
+
+}  // namespace plt::baselines

@@ -1,0 +1,152 @@
+#include "baselines/dic.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "baselines/counting.hpp"
+#include "tdb/remap.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const Item i : s) {
+      h ^= i;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct Tracked {
+  Itemset items;        // remapped ids, sorted
+  Count count = 0;
+  std::size_t seen = 0; // transactions counted so far
+  bool box = false;     // frequent-looking
+  bool complete = false;
+};
+
+}  // namespace
+
+void mine_dic(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats,
+              const DicOptions& options) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  PLT_ASSERT(options.block_size >= 1, "block size must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = mapped.memory_usage();
+  }
+  Timer mine_timer;
+  const std::size_t n = mapped.size();
+  if (n == 0 || remap.alphabet_size() == 0) {
+    if (stats) stats->mine_seconds = mine_timer.seconds();
+    return;
+  }
+
+  std::vector<Tracked> tracked;
+  std::unordered_map<Itemset, std::size_t, ItemsetHash> index;
+  const auto track = [&](Itemset items) {
+    const auto [it, inserted] =
+        index.emplace(std::move(items), tracked.size());
+    if (!inserted) return;
+    Tracked t;
+    t.items = it->first;
+    tracked.push_back(std::move(t));
+  };
+
+  // Every frequent 1-item starts as a dashed circle.
+  for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r)
+    track(Itemset{r});
+
+  // Generates the supersets of a newly-boxed itemset whose immediate
+  // subsets are all boxes (the DIC growth rule).
+  Itemset probe;
+  const auto is_box = [&](const Itemset& s) {
+    const auto it = index.find(s);
+    return it != index.end() && tracked[it->second].box;
+  };
+  const auto grow_from = [&](std::size_t id) {
+    const Itemset base = tracked[id].items;  // copy: tracked may reallocate
+    // A superset C = base ∪ {ext} is generated the moment its LAST
+    // immediate subset becomes a box — which may be `base` for any
+    // extension position, so all extensions are considered, and the
+    // all-subsets-boxed test arbitrates.
+    for (Item ext = 1; ext <= static_cast<Item>(remap.alphabet_size());
+         ++ext) {
+      if (std::binary_search(base.begin(), base.end(), ext)) continue;
+      if (!is_box(Itemset{ext})) continue;
+      Itemset candidate = base;
+      candidate.insert(
+          std::lower_bound(candidate.begin(), candidate.end(), ext), ext);
+      bool all_box = true;
+      for (std::size_t drop = 0; drop < candidate.size() && all_box;
+           ++drop) {
+        probe.clear();
+        for (std::size_t j = 0; j < candidate.size(); ++j)
+          if (j != drop) probe.push_back(candidate[j]);
+        all_box = is_box(probe);
+      }
+      if (all_box) track(std::move(candidate));
+    }
+  };
+
+  Itemset original;
+  const auto finish = [&](Tracked& t) {
+    t.complete = true;
+    if (t.count < min_support) return;
+    original.clear();
+    for (const Item id : t.items) original.push_back(remap.unmap(id));
+    std::sort(original.begin(), original.end());
+    sink(original, t.count);
+  };
+
+  std::size_t position = 0;  // current block start
+  std::size_t peak_bytes = 0;
+  // Cycle blocks until every tracked itemset has seen the whole database.
+  for (;;) {
+    std::vector<std::size_t> dashed;
+    for (std::size_t id = 0; id < tracked.size(); ++id)
+      if (!tracked[id].complete) dashed.push_back(id);
+    if (dashed.empty()) break;
+
+    const std::size_t block_end = std::min(n, position + options.block_size);
+    std::vector<Itemset> candidates;
+    candidates.reserve(dashed.size());
+    for (const std::size_t id : dashed)
+      candidates.push_back(tracked[id].items);
+    CountingTrie trie(candidates);
+    for (std::size_t t = position; t < block_end; ++t) trie.count(mapped[t]);
+    peak_bytes = std::max(peak_bytes, trie.memory_usage());
+
+    const std::size_t block_len = block_end - position;
+    for (std::size_t d = 0; d < dashed.size(); ++d) {
+      const std::size_t id = dashed[d];
+      tracked[id].count += trie.support(d);
+      tracked[id].seen += block_len;
+      // Circle -> box as soon as the running count reaches the threshold;
+      // boxing triggers superset generation (they start counting at the
+      // next block boundary). grow_from may reallocate `tracked`, so the
+      // element is re-indexed, never held by reference across it.
+      if (!tracked[id].box && tracked[id].count >= min_support) {
+        tracked[id].box = true;
+        grow_from(id);
+      }
+      if (tracked[id].seen >= n) finish(tracked[id]);
+    }
+    position = block_end == n ? 0 : block_end;
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += peak_bytes;
+  }
+}
+
+}  // namespace plt::baselines

@@ -1,0 +1,27 @@
+// DIC — Dynamic Itemset Counting (Brin, Motwani, Ullman & Tsur,
+// SIGMOD'97 — the paper's reference [7]... cited in §3's candidate-
+// generation family): candidates start counting mid-pass, at block
+// boundaries, as soon as all of their subsets look frequent, so the
+// database is cycled through fewer times than Apriori's level count.
+//
+// Itemset states follow the paper's metaphor:
+//   dashed circle — being counted, not yet frequent-looking
+//   dashed box    — being counted, already frequent-looking
+//   solid  circle — fully counted, infrequent
+//   solid  box    — fully counted, frequent (the output)
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+struct DicOptions {
+  /// Block size M: candidate states are reconsidered every M transactions.
+  std::size_t block_size = 1000;
+};
+
+void mine_dic(const tdb::Database& db, Count min_support,
+              const ItemsetSink& sink, BaselineStats* stats = nullptr,
+              const DicOptions& options = {});
+
+}  // namespace plt::baselines

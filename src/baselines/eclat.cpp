@@ -1,0 +1,144 @@
+#include "baselines/eclat.hpp"
+
+#include <algorithm>
+
+#include "tdb/remap.hpp"
+#include "tdb/vertical.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+struct Ctx {
+  const tdb::Remap& remap;
+  Count min_support;
+  const ItemsetSink& sink;
+  Itemset scratch;
+  std::size_t peak_bytes = 0;
+
+  void emit(const std::vector<Item>& suffix, Count support) {
+    scratch.clear();
+    for (const Item id : suffix) scratch.push_back(remap.unmap(id));
+    std::sort(scratch.begin(), scratch.end());
+    sink(scratch, support);
+  }
+};
+
+struct Member {
+  Item item;
+  std::vector<Tid> tids;  // tidset (Eclat) or diffset (dEclat)
+  Count support;
+};
+
+std::size_t class_bytes(const std::vector<Member>& eq_class) {
+  std::size_t bytes = 0;
+  for (const auto& m : eq_class) bytes += m.tids.capacity() * sizeof(Tid);
+  return bytes;
+}
+
+// Classic Eclat: children intersect tidsets pairwise.
+void eclat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
+               Ctx& ctx) {
+  ctx.peak_bytes = std::max(ctx.peak_bytes, class_bytes(members));
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    prefix.push_back(members[a].item);
+    ctx.emit(prefix, members[a].support);
+    std::vector<Member> child;
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      std::vector<Tid> tids = tdb::intersect(members[a].tids,
+                                             members[b].tids);
+      const Count support = tids.size();
+      if (support >= ctx.min_support)
+        child.push_back(Member{members[b].item, std::move(tids), support});
+    }
+    if (!child.empty()) eclat_rec(prefix, child, ctx);
+    prefix.pop_back();
+  }
+}
+
+// dEclat: at depth >= 1 members carry diffsets d(PX) = t(P) \ t(X);
+// d(PXY) = d(PY) \ d(PX), support(PXY) = support(PX) - |d(PXY)|.
+void declat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
+                Ctx& ctx) {
+  ctx.peak_bytes = std::max(ctx.peak_bytes, class_bytes(members));
+  for (std::size_t a = 0; a < members.size(); ++a) {
+    prefix.push_back(members[a].item);
+    ctx.emit(prefix, members[a].support);
+    std::vector<Member> child;
+    for (std::size_t b = a + 1; b < members.size(); ++b) {
+      std::vector<Tid> diff = tdb::difference(members[b].tids,
+                                              members[a].tids);
+      const Count support = members[a].support - diff.size();
+      if (support >= ctx.min_support)
+        child.push_back(Member{members[b].item, std::move(diff), support});
+    }
+    if (!child.empty()) declat_rec(prefix, child, ctx);
+    prefix.pop_back();
+  }
+}
+
+void mine_vertical(const tdb::Database& db, Count min_support,
+                   const ItemsetSink& sink, BaselineStats* stats,
+                   bool diffsets) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  const tdb::VerticalView vertical(mapped);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = vertical.memory_usage();
+  }
+
+  Timer mine_timer;
+  Ctx ctx{remap, min_support, sink, {}, 0};
+  std::vector<Item> prefix;
+
+  if (diffsets) {
+    // Top level still uses tidsets; the first projection switches to diffs:
+    // d(XY) = t(X) \ t(Y), support = |t(X)| - |d(XY)|.
+    for (Item a = 1; a <= static_cast<Item>(remap.alphabet_size()); ++a) {
+      const auto ta = vertical.tidset(a);
+      prefix.push_back(a);
+      ctx.emit(prefix, ta.size());
+      std::vector<Member> child;
+      for (Item b = a + 1; b <= static_cast<Item>(remap.alphabet_size());
+           ++b) {
+        std::vector<Tid> diff = tdb::difference(ta, vertical.tidset(b));
+        const Count support = ta.size() - diff.size();
+        if (support >= min_support)
+          child.push_back(Member{b, std::move(diff), support});
+      }
+      if (!child.empty()) declat_rec(prefix, child, ctx);
+      prefix.pop_back();
+    }
+  } else {
+    std::vector<Member> top;
+    for (Item a = 1; a <= static_cast<Item>(remap.alphabet_size()); ++a) {
+      const auto ta = vertical.tidset(a);
+      top.push_back(
+          Member{a, std::vector<Tid>(ta.begin(), ta.end()), ta.size()});
+    }
+    if (!top.empty()) eclat_rec(prefix, top, ctx);
+  }
+
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += ctx.peak_bytes;
+  }
+}
+
+}  // namespace
+
+void mine_eclat(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats) {
+  mine_vertical(db, min_support, sink, stats, /*diffsets=*/false);
+}
+
+void mine_declat(const tdb::Database& db, Count min_support,
+                 const ItemsetSink& sink, BaselineStats* stats) {
+  mine_vertical(db, min_support, sink, stats, /*diffsets=*/true);
+}
+
+}  // namespace plt::baselines

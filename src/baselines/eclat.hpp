@@ -1,0 +1,18 @@
+// Eclat (Zaki, TKDE'00 — the paper's reference [12]) and dEclat
+// (Zaki & Gouda, KDD'03 — reference [16]): vertical mining by depth-first
+// equivalence-class search over tidsets; dEclat carries diffsets below the
+// first level, computing support as parent support minus diffset size.
+// These are the vertical-layout baselines of the paper's §3 taxonomy.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+void mine_eclat(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+void mine_declat(const tdb::Database& db, Count min_support,
+                 const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+}  // namespace plt::baselines

@@ -1,0 +1,208 @@
+#include "baselines/fpgrowth.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "tdb/remap.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+// Item ids here are remapped with kByFreqDescending, so ascending id order
+// *is* descending frequency order — transactions insert as-is.
+class FpTree {
+ public:
+  struct Node {
+    Item item = 0;
+    Count count = 0;
+    std::uint32_t parent = 0;
+    std::uint32_t next = 0;  // header chain (0 = end; node 0 is the root)
+  };
+
+  explicit FpTree(std::size_t alphabet)
+      : header_head_(alphabet + 1, 0), header_count_(alphabet + 1, 0) {
+    nodes_.push_back(Node{});  // root
+  }
+
+  void insert(std::span<const Item> items, Count count) {
+    std::uint32_t node = 0;
+    for (const Item item : items) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(node) << 32) | item;
+      const auto it = children_.find(key);
+      if (it != children_.end()) {
+        node = it->second;
+        nodes_[node].count += count;
+      } else {
+        nodes_.push_back(Node{item, count, node, header_head_[item]});
+        const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+        header_head_[item] = id;
+        children_.emplace(key, id);
+        node = id;
+      }
+      header_count_[item] += count;
+    }
+  }
+
+  std::size_t alphabet() const { return header_head_.size() - 1; }
+  Count item_count(Item item) const { return header_count_[item]; }
+  std::uint32_t header(Item item) const { return header_head_[item]; }
+  const Node& node(std::uint32_t id) const { return nodes_[id]; }
+  std::size_t node_count() const { return nodes_.size() - 1; }
+
+  /// True when the tree is one downward path (each node has <= 1 child).
+  bool single_path(std::vector<std::pair<Item, Count>>& path) const {
+    path.clear();
+    // In a single path every non-root node's parent is the previous node,
+    // i.e. node ids form the chain 1..n in insertion order.
+    for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+      if (nodes_[id].parent != id - 1) return false;
+      path.emplace_back(nodes_[id].item, nodes_[id].count);
+    }
+    return true;
+  }
+
+  std::size_t memory_usage() const {
+    return nodes_.capacity() * sizeof(Node) +
+           header_head_.capacity() * sizeof(std::uint32_t) +
+           header_count_.capacity() * sizeof(Count) +
+           children_.size() *
+               (sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                2 * sizeof(void*));  // approximate bucket overhead
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> header_head_;
+  std::vector<Count> header_count_;
+  std::unordered_map<std::uint64_t, std::uint32_t> children_;
+};
+
+struct MineCtx {
+  const tdb::Remap& remap;
+  Count min_support;
+  const ItemsetSink& sink;
+  std::vector<Item> suffix;  // remapped ids, grown towards the root
+  Itemset scratch;
+  std::size_t peak_bytes = 0;
+
+  void emit(Count support) {
+    scratch.clear();
+    for (const Item id : suffix) scratch.push_back(remap.unmap(id));
+    std::sort(scratch.begin(), scratch.end());
+    sink(scratch, support);
+  }
+};
+
+// Emits every non-empty combination of `path` items appended to the suffix.
+// `path` is root-to-leaf, so counts are non-increasing: the support of a
+// combination is the count of its deepest member.
+void emit_path_combinations(MineCtx& ctx,
+                            const std::vector<std::pair<Item, Count>>& path,
+                            std::size_t from, Count support) {
+  for (std::size_t i = from; i < path.size(); ++i) {
+    ctx.suffix.push_back(path[i].first);
+    ctx.emit(path[i].second);
+    emit_path_combinations(ctx, path, i + 1, path[i].second);
+    ctx.suffix.pop_back();
+  }
+  (void)support;
+}
+
+void mine_tree(const FpTree& tree, MineCtx& ctx) {
+  std::vector<std::pair<Item, Count>> path;
+  if (tree.single_path(path)) {
+    emit_path_combinations(ctx, path, 0, 0);
+    return;
+  }
+
+  // Process header items least-frequent first (highest id first).
+  std::vector<Item> reversed_path;
+  std::vector<std::pair<std::vector<Item>, Count>> pattern_base;
+  for (Item item = static_cast<Item>(tree.alphabet()); item >= 1; --item) {
+    const Count support = tree.item_count(item);
+    if (support < ctx.min_support) continue;
+    ctx.suffix.push_back(item);
+    ctx.emit(support);
+
+    // Conditional pattern base: root-ward paths above each node of `item`.
+    pattern_base.clear();
+    std::vector<Count> cond_count(tree.alphabet() + 1, 0);
+    for (std::uint32_t id = tree.header(item); id != 0;
+         id = tree.node(id).next) {
+      const Count count = tree.node(id).count;
+      reversed_path.clear();
+      for (std::uint32_t up = tree.node(id).parent; up != 0;
+           up = tree.node(up).parent)
+        reversed_path.push_back(tree.node(up).item);
+      if (reversed_path.empty()) continue;
+      std::reverse(reversed_path.begin(), reversed_path.end());
+      for (const Item path_item : reversed_path)
+        cond_count[path_item] += count;
+      pattern_base.emplace_back(reversed_path, count);
+    }
+
+    // Build the conditional tree over locally-frequent items only.
+    bool any = false;
+    for (Item i = 1; i <= static_cast<Item>(tree.alphabet()); ++i)
+      any = any || cond_count[i] >= ctx.min_support;
+    if (any) {
+      FpTree cond_tree(tree.alphabet());
+      std::vector<Item> filtered;
+      for (const auto& [items, count] : pattern_base) {
+        filtered.clear();
+        for (const Item i : items)
+          if (cond_count[i] >= ctx.min_support) filtered.push_back(i);
+        if (!filtered.empty()) cond_tree.insert(filtered, count);
+      }
+      ctx.peak_bytes = std::max(ctx.peak_bytes, cond_tree.memory_usage());
+      if (cond_tree.node_count() > 0) mine_tree(cond_tree, ctx);
+    }
+    ctx.suffix.pop_back();
+  }
+}
+
+FpTree build_initial_tree(const tdb::Database& mapped,
+                          std::size_t alphabet) {
+  FpTree tree(alphabet);
+  for (std::size_t t = 0; t < mapped.size(); ++t) tree.insert(mapped[t], 1);
+  return tree;
+}
+
+}  // namespace
+
+void mine_fpgrowth(const tdb::Database& db, Count min_support,
+                   const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap =
+      tdb::build_remap(db, min_support, tdb::ItemOrder::kByFreqDescending);
+  const auto mapped = tdb::apply_remap(db, remap);
+  FpTree tree = build_initial_tree(mapped, remap.alphabet_size());
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = tree.memory_usage();
+  }
+
+  Timer mine_timer;
+  MineCtx ctx{remap, min_support, sink, {}, {}, 0};
+  if (remap.alphabet_size() > 0) mine_tree(tree, ctx);
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += ctx.peak_bytes;
+  }
+}
+
+std::size_t fptree_size_bytes(const tdb::Database& db, Count min_support,
+                              std::size_t* node_count) {
+  const auto remap =
+      tdb::build_remap(db, min_support, tdb::ItemOrder::kByFreqDescending);
+  const auto mapped = tdb::apply_remap(db, remap);
+  const FpTree tree = build_initial_tree(mapped, remap.alphabet_size());
+  if (node_count) *node_count = tree.node_count();
+  return tree.memory_usage();
+}
+
+}  // namespace plt::baselines

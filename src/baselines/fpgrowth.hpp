@@ -1,0 +1,20 @@
+// FP-growth (Han, Pei & Yin, SIGMOD'00 — the paper's reference [3]):
+// frequency-descending prefix tree with header-table node links, mined by
+// recursive conditional-tree projection with the single-path shortcut.
+// This is the pattern-growth baseline the PLT conditional approach is the
+// paper's alternative to.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+void mine_fpgrowth(const tdb::Database& db, Count min_support,
+                   const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+/// Size in bytes of the initial FP-tree built for `db` at `min_support`
+/// (node storage + header table). Used by the structure-size experiment E1.
+std::size_t fptree_size_bytes(const tdb::Database& db, Count min_support,
+                              std::size_t* node_count = nullptr);
+
+}  // namespace plt::baselines

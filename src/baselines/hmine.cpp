@@ -1,0 +1,107 @@
+#include "baselines/hmine.hpp"
+
+#include <algorithm>
+
+#include "tdb/remap.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+// A projected database: cursors into the remapped transaction store. The
+// suffix row[offset..] holds the items greater than the current prefix's
+// last item, restricted to rows that contain the prefix.
+struct Cursor {
+  std::uint32_t row;
+  std::uint32_t offset;
+};
+
+struct Ctx {
+  const tdb::Database& mapped;
+  const tdb::Remap& remap;
+  Count min_support;
+  const ItemsetSink& sink;
+  std::size_t alphabet;
+  std::vector<Item> prefix;  // remapped ids, ascending
+  Itemset scratch;
+  std::size_t peak_cursors = 0;
+
+  void emit(Count support) {
+    scratch.clear();
+    for (const Item id : prefix) scratch.push_back(remap.unmap(id));
+    std::sort(scratch.begin(), scratch.end());
+    sink(scratch, support);
+  }
+};
+
+void mine_projection(Ctx& ctx, const std::vector<Cursor>& cursors) {
+  ctx.peak_cursors = std::max(ctx.peak_cursors, cursors.size());
+
+  // Count local supports of every extension item in the suffixes. One
+  // counter array per recursion level: the recursive calls below must not
+  // clobber this level's counts.
+  std::vector<Count> local_count(ctx.alphabet + 1, 0);
+  for (const Cursor c : cursors) {
+    const auto row = ctx.mapped[c.row];
+    for (std::size_t i = c.offset; i < row.size(); ++i)
+      local_count[row[i]] += 1;
+  }
+
+  std::vector<Cursor> child;
+  for (Item ext = 1; ext < local_count.size(); ++ext) {
+    const Count support = local_count[ext];
+    if (support < ctx.min_support) continue;
+    ctx.prefix.push_back(ext);
+    ctx.emit(support);
+
+    // Pseudo-project: advance each cursor past `ext` where present.
+    child.clear();
+    child.reserve(support);
+    for (const Cursor c : cursors) {
+      const auto row = ctx.mapped[c.row];
+      // Rows are sorted; binary-search the suffix for ext.
+      const auto begin = row.begin() + c.offset;
+      const auto it = std::lower_bound(begin, row.end(), ext);
+      if (it != row.end() && *it == ext) {
+        const auto next =
+            static_cast<std::uint32_t>(it - row.begin() + 1);
+        if (next < row.size()) child.push_back({c.row, next});
+      }
+    }
+    if (!child.empty()) mine_projection(ctx, child);
+    ctx.prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+void mine_hmine(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = mapped.memory_usage();
+  }
+  if (remap.alphabet_size() == 0) {
+    if (stats) stats->mine_seconds = 0.0;
+    return;
+  }
+
+  Timer mine_timer;
+  Ctx ctx{mapped, remap, min_support, sink, remap.alphabet_size(), {}, {},
+          0};
+  std::vector<Cursor> top;
+  top.reserve(mapped.size());
+  for (std::uint32_t t = 0; t < mapped.size(); ++t) top.push_back({t, 0});
+  mine_projection(ctx, top);
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += ctx.peak_cursors * sizeof(Cursor);
+  }
+}
+
+}  // namespace plt::baselines

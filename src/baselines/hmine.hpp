@@ -1,0 +1,16 @@
+// H-Mine-style miner (Pei et al., ICDM'01 — the paper's §3 fix for
+// FP-growth's sparse-data weakness, reference [8]-adjacent): pattern growth
+// by *pseudo-projection*. Transactions are stored once in a flat
+// hyper-structure; a projected database is just a list of (row, offset)
+// cursors into it, so no conditional structures are materialized — the
+// property that makes H-Mine memory-light on sparse data.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+void mine_hmine(const tdb::Database& db, Count min_support,
+                const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+}  // namespace plt::baselines

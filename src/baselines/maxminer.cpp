@@ -1,0 +1,153 @@
+#include "baselines/maxminer.hpp"
+
+#include <algorithm>
+
+#include "tdb/remap.hpp"
+#include "tdb/vertical.hpp"
+#include "util/timer.hpp"
+
+namespace plt::baselines {
+
+namespace {
+
+struct TailEntry {
+  Item item;
+  std::vector<Tid> tids;  // t(head ∪ {item})
+};
+
+struct Ctx {
+  Count min_support;
+  std::vector<std::pair<Itemset, Count>> candidates;  // maximal candidates
+  std::size_t peak_bytes = 0;
+};
+
+void search(Ctx& ctx, Itemset& head, const std::vector<Tid>& head_tids,
+            std::vector<TailEntry> tail) {
+  std::size_t tail_bytes = 0;
+  for (const auto& e : tail) tail_bytes += e.tids.capacity() * sizeof(Tid);
+  ctx.peak_bytes = std::max(ctx.peak_bytes, tail_bytes);
+
+  if (tail.empty()) {
+    if (!head.empty())
+      ctx.candidates.emplace_back(head, head_tids.size());
+    return;
+  }
+
+  // Lookahead: if head ∪ tail is frequent, it is the only possible maximal
+  // set below this node — emit it and prune the subtree.
+  {
+    std::vector<Tid> all = tail.front().tids;
+    bool alive = all.size() >= ctx.min_support;
+    for (std::size_t i = 1; i < tail.size() && alive; ++i) {
+      all = tdb::intersect(all, tail[i].tids);
+      alive = all.size() >= ctx.min_support;
+    }
+    if (alive) {
+      Itemset full = head;
+      for (const auto& e : tail) full.push_back(e.item);
+      std::sort(full.begin(), full.end());
+      ctx.candidates.emplace_back(std::move(full), all.size());
+      return;
+    }
+  }
+
+  // MaxMiner heuristic: expand the lowest-support tail item first so the
+  // lookahead fires early in the remaining subtrees.
+  std::sort(tail.begin(), tail.end(), [](const TailEntry& a,
+                                         const TailEntry& b) {
+    if (a.tids.size() != b.tids.size()) return a.tids.size() < b.tids.size();
+    return a.item < b.item;
+  });
+
+  bool any_child = false;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    head.push_back(tail[i].item);
+    std::vector<TailEntry> child_tail;
+    for (std::size_t j = i + 1; j < tail.size(); ++j) {
+      auto shared = tdb::intersect(tail[i].tids, tail[j].tids);
+      if (shared.size() >= ctx.min_support)
+        child_tail.push_back(TailEntry{tail[j].item, std::move(shared)});
+    }
+    if (child_tail.empty()) {
+      // A leaf: head ∪ {item} has no frequent extension among the
+      // remaining tail — candidate maximal.
+      Itemset leaf = head;
+      std::sort(leaf.begin(), leaf.end());
+      ctx.candidates.emplace_back(std::move(leaf), tail[i].tids.size());
+    } else {
+      search(ctx, head, tail[i].tids, std::move(child_tail));
+    }
+    any_child = true;
+    head.pop_back();
+  }
+  (void)any_child;
+}
+
+}  // namespace
+
+void mine_maxminer(const tdb::Database& db, Count min_support,
+                   const ItemsetSink& sink, BaselineStats* stats) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  Timer build_timer;
+  const auto remap = tdb::build_remap(db, min_support);
+  const auto mapped = tdb::apply_remap(db, remap);
+  const tdb::VerticalView vertical(mapped);
+  if (stats) {
+    stats->build_seconds = build_timer.seconds();
+    stats->structure_bytes = vertical.memory_usage();
+  }
+
+  Timer mine_timer;
+  Ctx ctx{min_support, {}, 0};
+  {
+    std::vector<TailEntry> top;
+    for (Item r = 1; r <= static_cast<Item>(remap.alphabet_size()); ++r) {
+      const auto tids = vertical.tidset(r);
+      top.push_back(TailEntry{r, std::vector<Tid>(tids.begin(), tids.end())});
+    }
+    Itemset head;
+    if (!top.empty()) search(ctx, head, {}, std::move(top));
+  }
+
+  // Final subsumption sweep: the enumeration can produce candidates that a
+  // sibling's lookahead strictly contains.
+  std::sort(ctx.candidates.begin(), ctx.candidates.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.size() > b.first.size();
+            });
+  std::vector<std::pair<Itemset, Count>> maximal;
+  Itemset original;
+  for (auto& [items, support] : ctx.candidates) {
+    bool subsumed = false;
+    for (const auto& [kept, kept_support] : maximal) {
+      if (kept.size() <= items.size()) continue;
+      if (std::includes(kept.begin(), kept.end(), items.begin(),
+                        items.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) continue;
+    // Equal-content duplicates from different branches.
+    bool duplicate = false;
+    for (const auto& [kept, kept_support] : maximal)
+      if (kept == items) {
+        duplicate = true;
+        break;
+      }
+    if (duplicate) continue;
+    maximal.emplace_back(std::move(items), support);
+  }
+  for (const auto& [items, support] : maximal) {
+    original.clear();
+    for (const Item id : items) original.push_back(remap.unmap(id));
+    std::sort(original.begin(), original.end());
+    sink(original, support);
+  }
+  if (stats) {
+    stats->mine_seconds = mine_timer.seconds();
+    stats->structure_bytes += ctx.peak_bytes;
+  }
+}
+
+}  // namespace plt::baselines

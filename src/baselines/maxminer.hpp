@@ -1,0 +1,17 @@
+// MaxMiner/GenMax-style native MAXIMAL itemset mining (Bayardo, SIGMOD'98
+// lineage; complements the paper's references [13]/[19] on condensed
+// mining): set-enumeration search with superset lookahead — if the head
+// plus its whole candidate tail is frequent, the entire subtree collapses
+// to that one maximal set. Supports come from tidset intersections.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+/// Emits every MAXIMAL frequent itemset of `db` at `min_support`.
+/// Results equal core::maximal_itemsets(full mining) — tests enforce it.
+void mine_maxminer(const tdb::Database& db, Count min_support,
+                   const ItemsetSink& sink, BaselineStats* stats = nullptr);
+
+}  // namespace plt::baselines

@@ -1,0 +1,22 @@
+// The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB'95 — cited
+// in the paper's §3 survey): split the database into memory-sized chunks,
+// mine each chunk locally (any in-memory miner; we use PLT conditional),
+// union the local results into a global candidate set, and count the
+// candidates exactly in one final scan. Exactly two passes over the data —
+// correct because a globally frequent itemset is locally frequent in at
+// least one chunk.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace plt::baselines {
+
+struct PartitionOptions {
+  std::size_t partitions = 4;
+};
+
+void mine_partition(const tdb::Database& db, Count min_support,
+                    const ItemsetSink& sink, BaselineStats* stats = nullptr,
+                    const PartitionOptions& options = {});
+
+}  // namespace plt::baselines

@@ -1,0 +1,98 @@
+#include "compress/codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/varint.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::compress {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'L', 'T', '1'};
+}
+
+std::vector<std::uint8_t> encode_plt(const core::Plt& plt) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_varint(out, plt.max_rank());
+
+  std::uint32_t partitions = 0;
+  for (std::uint32_t k = 1; k <= plt.max_len(); ++k)
+    if (plt.partition(k) && !plt.partition(k)->empty()) ++partitions;
+  put_varint(out, partitions);
+
+  for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
+    const core::Partition* p = plt.partition(k);
+    if (!p || p->empty()) continue;
+    put_varint(out, k);
+    put_varint(out, p->size());
+    p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
+                    const core::Partition::Entry& e) {
+      for (const Pos pos : v) put_varint(out, pos);
+      put_varint(out, e.freq);
+    });
+  }
+  return out;
+}
+
+core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    throw std::runtime_error("decode_plt: bad magic");
+  std::size_t offset = 4;
+  const std::uint64_t raw_max_rank = get_varint(bytes, offset);
+  // Format limit: alphabets beyond 2^26 are rejected — a corrupted header
+  // must not trigger a multi-gigabyte bucket allocation.
+  if (raw_max_rank == 0 || raw_max_rank > (1u << 26))
+    throw std::runtime_error("decode_plt: max_rank out of range");
+  const auto max_rank = static_cast<Rank>(raw_max_rank);
+  core::Plt plt(max_rank);
+
+  const std::uint64_t partitions = get_varint(bytes, offset);
+  core::PosVec v;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    const std::uint64_t length = get_varint(bytes, offset);
+    const std::uint64_t entries = get_varint(bytes, offset);
+    if (length == 0 || length > max_rank)
+      throw std::runtime_error("decode_plt: invalid partition length");
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      v.clear();
+      for (std::uint64_t i = 0; i < length; ++i) {
+        const std::uint64_t pos = get_varint(bytes, offset);
+        if (pos == 0 || pos > max_rank)
+          throw std::runtime_error("decode_plt: invalid position value");
+        v.push_back(static_cast<Pos>(pos));
+      }
+      const std::uint64_t freq = get_varint(bytes, offset);
+      if (!core::is_valid(v, max_rank))
+        throw std::runtime_error("decode_plt: vector sum out of range");
+      plt.add(v, freq);
+    }
+  }
+  return plt;
+}
+
+std::size_t encoded_size(const core::Plt& plt) {
+  std::size_t bytes = 4 + varint_size(plt.max_rank());
+  std::uint32_t partitions = 0;
+  for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
+    const core::Partition* p = plt.partition(k);
+    if (!p || p->empty()) continue;
+    ++partitions;
+    bytes += varint_size(k) + varint_size(p->size());
+    p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
+                    const core::Partition::Entry& e) {
+      for (const Pos pos : v) bytes += varint_size(pos);
+      bytes += varint_size(e.freq);
+    });
+  }
+  bytes += varint_size(partitions);
+  return bytes;
+}
+
+std::size_t raw_database_bytes(const tdb::Database& db) {
+  return db.total_items() * sizeof(Item) + db.size() * sizeof(std::uint64_t);
+}
+
+}  // namespace plt::compress

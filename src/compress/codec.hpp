@@ -1,0 +1,37 @@
+// PLT serialization: a compact on-disk/wire format built on varints.
+//
+// Layout:
+//   magic "PLT1" | varint max_rank | varint partition_count
+//   per partition: varint length | varint entry_count |
+//                  entries: length * varint positions, varint freq
+//
+// Because positions are gaps, the encoding *is* the compression: a k-itemset
+// costs ~k bytes plus its count. round-trips exactly (tests enforce it);
+// Experiment E1 reports the resulting sizes against FP-tree and raw layouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/plt.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::compress {
+
+/// Serializes a PLT to bytes.
+std::vector<std::uint8_t> encode_plt(const core::Plt& plt);
+
+/// Reconstructs a PLT. Throws std::runtime_error on malformed input
+/// (bad magic, truncation, invalid vectors).
+core::Plt decode_plt(std::span<const std::uint8_t> bytes);
+
+/// Serialized size without materializing the buffer.
+std::size_t encoded_size(const core::Plt& plt);
+
+/// Raw horizontal-layout cost of the same information in a plain database
+/// encoding (4 bytes per item occurrence + 8 per transaction) — the E1
+/// baseline for compression ratios.
+std::size_t raw_database_bytes(const tdb::Database& db);
+
+}  // namespace plt::compress

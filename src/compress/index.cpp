@@ -1,0 +1,97 @@
+#include "compress/index.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "compress/varint.hpp"
+
+namespace plt::compress {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'L', 'T', '1'};
+
+// Decodes one entry starting at `offset` (advanced past it).
+void decode_entry(std::span<const std::uint8_t> blob, std::size_t& offset,
+                  std::uint32_t length, core::PosVec& v, Count& freq) {
+  v.clear();
+  for (std::uint32_t i = 0; i < length; ++i)
+    v.push_back(static_cast<Pos>(get_varint(blob, offset)));
+  freq = get_varint(blob, offset);
+}
+}  // namespace
+
+std::size_t BlobIndex::memory_usage() const {
+  std::size_t bytes = sizeof(BlobIndex) +
+                      partitions.capacity() * sizeof(PartitionRange);
+  for (const auto& b : buckets)
+    bytes += b.capacity() * sizeof(std::pair<std::uint32_t, std::uint64_t>);
+  return bytes;
+}
+
+BlobIndex build_index(std::span<const std::uint8_t> blob) {
+  if (blob.size() < 4 || std::memcmp(blob.data(), kMagic, 4) != 0)
+    throw std::runtime_error("build_index: bad magic");
+  std::size_t offset = 4;
+  BlobIndex index;
+  const std::uint64_t raw_max_rank = get_varint(blob, offset);
+  if (raw_max_rank == 0 || raw_max_rank > (1u << 26))
+    throw std::runtime_error("build_index: max_rank out of range");
+  index.max_rank = static_cast<Rank>(raw_max_rank);
+  index.buckets.resize(index.max_rank);
+
+  const std::uint64_t partitions = get_varint(blob, offset);
+  core::PosVec v;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    BlobIndex::PartitionRange range;
+    range.length = static_cast<std::uint32_t>(get_varint(blob, offset));
+    range.entries = get_varint(blob, offset);
+    range.begin = offset;
+    for (std::uint64_t e = 0; e < range.entries; ++e) {
+      const std::uint64_t entry_offset = offset;
+      Count freq = 0;
+      decode_entry(blob, offset, range.length, v, freq);
+      const Rank sum = core::vector_sum(v);
+      if (sum == 0 || sum > index.max_rank)
+        throw std::runtime_error("build_index: vector sum out of range");
+      index.buckets[sum - 1].emplace_back(range.length, entry_offset);
+    }
+    range.end = offset;
+    index.partitions.push_back(range);
+  }
+  return index;
+}
+
+std::size_t decode_partition(
+    std::span<const std::uint8_t> blob, const BlobIndex& index,
+    std::uint32_t length,
+    const std::function<void(std::span<const Pos>, Count)>& fn) {
+  core::PosVec v;
+  for (const auto& range : index.partitions) {
+    if (range.length != length) continue;
+    std::size_t offset = range.begin;
+    for (std::uint64_t e = 0; e < range.entries; ++e) {
+      Count freq = 0;
+      decode_entry(blob, offset, length, v, freq);
+      fn(v, freq);
+    }
+    return range.entries;
+  }
+  return 0;
+}
+
+std::size_t decode_bucket(
+    std::span<const std::uint8_t> blob, const BlobIndex& index, Rank sum,
+    const std::function<void(std::span<const Pos>, Count)>& fn) {
+  if (sum == 0 || sum > index.max_rank) return 0;
+  core::PosVec v;
+  const auto& bucket = index.buckets[sum - 1];
+  for (const auto& [length, entry_offset] : bucket) {
+    std::size_t offset = entry_offset;
+    Count freq = 0;
+    decode_entry(blob, offset, length, v, freq);
+    fn(v, freq);
+  }
+  return bucket.size();
+}
+
+}  // namespace plt::compress

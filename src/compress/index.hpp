@@ -1,0 +1,49 @@
+// Partition/bucket index over a serialized PLT: byte ranges per partition
+// and per vector-sum bucket, enabling selective decode — the "indexing
+// techniques" of §1/§6 and the enabler of partitioned (out-of-core or
+// parallel) mining: a worker can decode exactly the bucket for item j.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/plt.hpp"
+
+namespace plt::compress {
+
+struct BlobIndex {
+  struct PartitionRange {
+    std::uint32_t length = 0;
+    std::uint64_t begin = 0;   ///< byte offset of the entry stream
+    std::uint64_t end = 0;
+    std::uint64_t entries = 0;
+  };
+  Rank max_rank = 0;
+  std::vector<PartitionRange> partitions;
+  /// entry_offsets[s-1]: byte offsets (into the blob) of entries whose
+  /// vector sum is s, across all partitions, paired with their length.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> buckets;
+
+  std::size_t memory_usage() const;
+};
+
+/// Scans an encoded PLT once and builds the index.
+/// Throws std::runtime_error on malformed input.
+BlobIndex build_index(std::span<const std::uint8_t> blob);
+
+/// Decodes only the vectors of partition `length` through the callback
+/// (positions, freq). Returns the number of entries visited.
+std::size_t decode_partition(
+    std::span<const std::uint8_t> blob, const BlobIndex& index,
+    std::uint32_t length,
+    const std::function<void(std::span<const Pos>, Count)>& fn);
+
+/// Decodes only the vectors whose sum equals `sum`. Returns entries visited.
+std::size_t decode_bucket(
+    std::span<const std::uint8_t> blob, const BlobIndex& index, Rank sum,
+    const std::function<void(std::span<const Pos>, Count)>& fn);
+
+}  // namespace plt::compress

@@ -1,0 +1,134 @@
+#include "compress/ooc_miner.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "compress/varint.hpp"
+#include "core/conditional.hpp"
+
+namespace plt::compress {
+
+namespace {
+
+// Streams the entries of one sum bucket out of the blob, reporting bytes
+// visited.
+template <typename Fn>  // Fn(span<const Pos>, Count)
+std::size_t stream_bucket(std::span<const std::uint8_t> blob,
+                          const BlobIndex& index, Rank sum, Fn&& fn) {
+  std::size_t bytes = 0;
+  core::PosVec v;
+  for (const auto& [length, entry_offset] : index.buckets[sum - 1]) {
+    std::size_t offset = entry_offset;
+    v.clear();
+    for (std::uint32_t i = 0; i < length; ++i)
+      v.push_back(static_cast<Pos>(get_varint(blob, offset)));
+    const Count freq = get_varint(blob, offset);
+    bytes += offset - entry_offset;
+    fn(std::span<const Pos>(v), freq);
+  }
+  return bytes;
+}
+
+struct VecHash {
+  std::size_t operator()(const core::PosVec& v) const {
+    return static_cast<std::size_t>(core::Partition::hash(v));
+  }
+};
+
+// Per-sum overlay of re-inserted prefixes. Unlike a monolithic PLT, each
+// bucket is dropped as soon as its rank has been processed, so the resident
+// working set at rank j is only the prefixes still waiting for ranks < j.
+class Overlay {
+ public:
+  explicit Overlay(Rank max_rank) : buckets_(max_rank) {}
+
+  void add(const core::PosVec& v, Count freq, Rank sum) {
+    auto [it, inserted] = buckets_[sum - 1].try_emplace(v, freq);
+    if (inserted) {
+      live_bytes_ += v.size() * sizeof(Pos) + kEntryOverhead;
+    } else {
+      it->second += freq;
+    }
+  }
+
+  const std::unordered_map<core::PosVec, Count, VecHash>& bucket(
+      Rank sum) const {
+    return buckets_[sum - 1];
+  }
+
+  void drop(Rank sum) {
+    for (const auto& [v, freq] : buckets_[sum - 1])
+      live_bytes_ -= v.size() * sizeof(Pos) + kEntryOverhead;
+    buckets_[sum - 1] = {};
+  }
+
+  std::size_t live_bytes() const { return live_bytes_; }
+
+ private:
+  // Approximate per-entry map overhead (node + bucket slot + vector header).
+  static constexpr std::size_t kEntryOverhead =
+      sizeof(void*) * 4 + sizeof(core::PosVec) + sizeof(Count);
+
+  std::vector<std::unordered_map<core::PosVec, Count, VecHash>> buckets_;
+  std::size_t live_bytes_ = 0;
+};
+
+}  // namespace
+
+void mine_from_blob(std::span<const std::uint8_t> blob,
+                    const std::vector<Item>& item_of, Count min_support,
+                    const core::ItemsetSink& sink, OocStats* stats) {
+  const BlobIndex index = build_index(blob);
+  PLT_ASSERT(item_of.size() >= index.max_rank,
+             "item_of must cover every rank in the blob");
+
+  Overlay overlay(index.max_rank);
+  std::vector<std::pair<core::PosVec, Count>> cond;
+  core::PosVec scratch;
+  Itemset suffix;
+  core::ConditionalOptions options;
+
+  for (Rank j = index.max_rank; j >= 1; --j) {
+    Count support = 0;
+    cond.clear();
+
+    const auto consume = [&](std::span<const Pos> v, Count freq) {
+      support += freq;
+      if (v.size() > 1 && freq > 0) {
+        scratch.assign(v.begin(), v.end() - 1);
+        cond.emplace_back(scratch, freq);
+        overlay.add(scratch, freq, j - v.back());
+      }
+    };
+    const std::size_t bytes = stream_bucket(blob, index, j, consume);
+    if (stats) stats->bytes_decoded += bytes;
+    for (const auto& [v, freq] : overlay.bucket(j)) consume(v, freq);
+    if (stats)
+      stats->peak_overlay_bytes =
+          std::max(stats->peak_overlay_bytes, overlay.live_bytes());
+    overlay.drop(j);  // rank j's prefixes will never be visited again
+
+    if (support < min_support) continue;
+
+    suffix.push_back(item_of[j - 1]);
+    {
+      Itemset emitted = suffix;
+      std::sort(emitted.begin(), emitted.end());
+      sink(emitted, support);
+    }
+    if (!cond.empty()) {
+      core::ConditionalProjection child = core::make_conditional_plt(
+          cond, j, min_support, options.filter_conditional_items);
+      if (!child.empty()) {
+        std::vector<Item> child_item_of(child.to_parent.size());
+        for (std::size_t c = 0; c < child.to_parent.size(); ++c)
+          child_item_of[c] = item_of[child.to_parent[c] - 1];
+        core::mine_plt_conditional(child.plt, child_item_of, suffix,
+                                   min_support, sink, options);
+      }
+    }
+    suffix.pop_back();
+  }
+}
+
+}  // namespace plt::compress

@@ -1,0 +1,31 @@
+// Out-of-core-style mining straight from a serialized PLT blob — the
+// payoff of the paper's indexing claim (§1/§6): with the sum-bucket index,
+// the conditional approach never needs the whole structure decoded. The
+// base vectors stream out of the blob bucket by bucket (highest rank
+// first); only the re-inserted prefixes and the per-item conditional PLTs
+// live in memory, which is exactly the working set of one partition task.
+#pragma once
+
+#include <span>
+
+#include "compress/index.hpp"
+#include "core/itemset_collector.hpp"
+
+namespace plt::compress {
+
+struct OocStats {
+  std::size_t bytes_decoded = 0;     ///< blob bytes visited
+  std::size_t peak_overlay_bytes = 0; ///< in-memory prefix overlay footprint
+};
+
+/// Mines every frequent itemset of the PLT serialized in `blob` at
+/// `min_support`. `item_of[r-1]` maps rank r to the original item id
+/// reported through the sink (pass 1..max_rank for identity). Results are
+/// identical to in-memory conditional mining of the decoded PLT (tests
+/// enforce it). Throws std::runtime_error on malformed blobs.
+void mine_from_blob(std::span<const std::uint8_t> blob,
+                    const std::vector<Item>& item_of, Count min_support,
+                    const core::ItemsetSink& sink,
+                    OocStats* stats = nullptr);
+
+}  // namespace plt::compress

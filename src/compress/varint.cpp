@@ -1,0 +1,39 @@
+#include "compress/varint.hpp"
+
+#include <stdexcept>
+
+namespace plt::compress {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> in,
+                         std::size_t& offset) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int bytes = 0; bytes < 10; ++bytes) {
+    if (offset >= in.size())
+      throw std::runtime_error("varint: truncated input");
+    const std::uint8_t b = in[offset++];
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+  throw std::runtime_error("varint: over-long encoding");
+}
+
+std::size_t varint_size(std::uint64_t value) {
+  std::size_t bytes = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+}  // namespace plt::compress

@@ -1,0 +1,25 @@
+// LEB128 variable-length integers. Position values are rank *gaps*, so they
+// are small by construction — the property that makes the PLT "applicable to
+// compression techniques" (paper §1/§6). One byte covers gaps up to 127.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace plt::compress {
+
+/// Appends the LEB128 encoding of `value` to `out`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Decodes one varint at `offset`, advancing it. Throws std::runtime_error
+/// on truncated or over-long (> 10 byte) input.
+std::uint64_t get_varint(std::span<const std::uint8_t> in,
+                         std::size_t& offset);
+
+/// Encoded size in bytes of a value.
+std::size_t varint_size(std::uint64_t value);
+
+}  // namespace plt::compress

@@ -1,0 +1,49 @@
+// The negative border and Toivonen-style sample-and-verify mining
+// (Toivonen, VLDB'96) — the classic answer to the paper's §1 concern that
+// "the large size of the database ... must be scanned several times":
+// mine a small sample at a lowered threshold, then verify the candidates
+// (sample-frequent itemsets plus their negative border) against the full
+// database in ONE exact counting pass. If no border itemset turns out
+// frequent, the result is provably exact.
+#pragma once
+
+#include <optional>
+
+#include "core/itemset_collector.hpp"
+#include "core/miner.hpp"
+
+namespace plt::core {
+
+/// The negative border of a frequent collection over the given frequent
+/// 1-items: the minimal itemsets NOT in `frequent` whose every proper
+/// subset is. Computed by Apriori-style join+prune over each level.
+/// `frequent_items` must be the sorted frequent 1-items of the universe.
+std::vector<Itemset> negative_border(const FrequentItemsets& frequent,
+                                     const std::vector<Item>& frequent_items);
+
+struct ToivonenOptions {
+  double sample_fraction = 0.25;
+  /// Threshold-lowering factor applied on the sample (smaller = safer);
+  /// each retry multiplies it by a further 0.7.
+  double lowering = 0.6;
+  std::uint64_t seed = 1;
+  std::size_t max_retries = 3;
+  Algorithm sample_algorithm = Algorithm::kPltConditional;
+};
+
+struct ToivonenResult {
+  FrequentItemsets itemsets;   ///< exact result (verified on the full db)
+  std::size_t attempts = 0;    ///< sampling rounds used
+  std::size_t candidates = 0;  ///< itemsets counted in the final full pass
+  std::size_t border_size = 0; ///< negative-border size of the final round
+  bool used_fallback = false;  ///< every sample round missed; mined exactly
+};
+
+/// Mines `db` exactly at `min_support` via sampling. The result is always
+/// exact: a round whose negative border contains a frequent itemset is
+/// rejected and retried, and after `max_retries` failed rounds the function
+/// falls back to direct exact mining (used_fallback = true).
+ToivonenResult mine_toivonen(const tdb::Database& db, Count min_support,
+                             const ToivonenOptions& options = {});
+
+}  // namespace plt::core

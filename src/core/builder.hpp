@@ -1,0 +1,32 @@
+// Algorithm 1 (PLT Construction): second database scan — each transaction's
+// frequent items become a position vector inserted (or counted) in the
+// partition of its length. Optionally all proper prefixes are inserted too,
+// which is "part A" of the top-down approach folded into construction, as
+// §5 recommends for efficiency.
+#pragma once
+
+#include "core/plt.hpp"
+#include "core/rank.hpp"
+
+namespace plt::core {
+
+struct BuildOptions {
+  /// Insert every proper prefix of each transaction vector with the same
+  /// frequency (paper §5, top-down part A). Off for conditional mining.
+  bool insert_prefixes = false;
+};
+
+/// Builds the PLT over an already-ranked database (items = ranks 1..n).
+Plt build_plt(const tdb::Database& ranked_db, Rank max_rank,
+              const BuildOptions& options = {});
+
+/// Convenience: full Algorithm 1 — rank, filter, and build in one call.
+struct BuiltPlt {
+  RankedView view;
+  Plt plt;
+};
+BuiltPlt build_from_database(const tdb::Database& db, Count min_support,
+                             tdb::ItemOrder order = tdb::ItemOrder::kById,
+                             const BuildOptions& options = {});
+
+}  // namespace plt::core

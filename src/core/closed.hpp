@@ -1,0 +1,33 @@
+// Closed and maximal frequent itemsets — the standard FIMI condensed
+// representations (the paper's references [13]/[16] mine these; CLOSET/
+// FPmax era). Computed as post-passes over a complete mining result:
+//   * closed:  no proper superset has the same support
+//   * maximal: no proper superset is frequent
+// Both are derived with a superset-index over the result, not by re-mining,
+// so any of the repo's miners can feed them.
+#pragma once
+
+#include "core/itemset_collector.hpp"
+
+namespace plt::core {
+
+/// Filters `frequent` down to the closed itemsets. The input must be a
+/// complete mining result (every frequent itemset present with its exact
+/// support) — true for the output of every miner in this repo.
+FrequentItemsets closed_itemsets(const FrequentItemsets& frequent);
+
+/// Filters `frequent` down to the maximal itemsets.
+FrequentItemsets maximal_itemsets(const FrequentItemsets& frequent);
+
+/// Verifies the condensed-representation invariants; used by tests and the
+/// bench as a self-check. Returns an empty string when consistent, else a
+/// description of the first violation found:
+///   * every maximal itemset is closed
+///   * every frequent itemset is a subset of some maximal one
+///   * every frequent itemset's support equals the max support of the
+///     closed supersets containing it.
+std::string check_condensed(const FrequentItemsets& frequent,
+                            const FrequentItemsets& closed,
+                            const FrequentItemsets& maximal);
+
+}  // namespace plt::core

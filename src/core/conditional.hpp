@@ -1,0 +1,62 @@
+// The conditional approach (§5.1, Algorithm 3): pattern-growth mining over
+// the PLT. Ranks are processed high to low; the entries whose vector sum
+// equals rank j are exactly the projected transactions whose highest item is
+// j, so support(suffix ∪ {j}) is the frequency mass of bucket j. Each such
+// entry's prefix is re-inserted into the working PLT (so lower ranks see the
+// transaction without j) and, when the extension is frequent, also forms j's
+// conditional PLT, which is mined recursively. The anti-monotone property is
+// fully exploited: infrequent extensions terminate their branch, and
+// conditional databases are filtered to locally-frequent items.
+#pragma once
+
+#include "core/itemset_collector.hpp"
+#include "core/plt.hpp"
+#include "core/rank.hpp"
+
+namespace plt::core {
+
+struct ConditionalOptions {
+  /// Filter locally-infrequent items when building conditional PLTs
+  /// (on = the full anti-monotone optimization; off = paper's literal
+  /// Algorithm 3, still correct but slower). Ablated in benches.
+  bool filter_conditional_items = true;
+};
+
+/// Mines every frequent itemset of the view through the sink (original ids).
+void mine_conditional(const RankedView& view, Count min_support,
+                      const ItemsetSink& sink,
+                      const ConditionalOptions& options = {});
+
+/// Lower-level entry point shared by the parallel partition miner, the
+/// incremental store and the out-of-core blob miner: mines `plt` (consumed)
+/// whose local rank r reports as original item `item_of[r-1]`, with
+/// `suffix` (original item ids) already fixed.
+void mine_plt_conditional(Plt& plt, const std::vector<Item>& item_of,
+                          std::vector<Item>& suffix, Count min_support,
+                          const ItemsetSink& sink,
+                          const ConditionalOptions& options);
+
+/// A conditional PLT plus the translation from its compact local ranks back
+/// to the parent's ranks.
+struct ConditionalProjection {
+  Plt plt{1};
+  std::vector<Rank> to_parent;  ///< local rank r -> parent rank
+
+  bool empty() const { return to_parent.empty(); }
+};
+
+/// Builds the conditional PLT for an extracted conditional database
+/// (vectors over parent ranks < parent_max_rank), filtering ranks whose
+/// local support is below `min_support` when `filter_items` is set, and
+/// compacting the survivors to ranks 1..m.
+ConditionalProjection make_conditional_plt(
+    const std::vector<std::pair<PosVec, Count>>& cond, Rank parent_max_rank,
+    Count min_support, bool filter_items);
+
+/// Builds item j's conditional database from a PLT snapshot *without*
+/// mutating it — returns the (prefix vector, freq) list whose sums < j.
+/// Exposed for the paper-artifact bench (Figure 5) and tests.
+std::vector<std::pair<PosVec, Count>> conditional_database(const Plt& plt,
+                                                           Rank j);
+
+}  // namespace plt::core

@@ -1,0 +1,35 @@
+// FUP-style incremental frequent-itemset maintenance (Cheung, Han, Ng &
+// Wong, ICDE'96): given the mining result of an old database and a batch of
+// newly arrived transactions, compute the result of the combined database
+// while rescanning the old data only for the few "loser" candidates that
+// the increment promotes. Key pruning fact: an itemset absent from the old
+// result has old count <= old_min_support - 1, so it can only reach the new
+// threshold if its increment count >= new_min_support - old_min_support + 1.
+#pragma once
+
+#include "core/itemset_collector.hpp"
+#include "core/miner.hpp"
+
+namespace plt::core {
+
+struct FupResult {
+  FrequentItemsets itemsets;        ///< exact result for old_db ∪ delta
+  std::size_t winner_candidates = 0; ///< old-frequent itemsets re-counted
+                                     ///  on the delta only
+  std::size_t loser_candidates = 0;  ///< new candidates counted on the
+                                     ///  delta
+  std::size_t rescanned = 0;         ///< candidates that needed an old-db
+                                     ///  counting pass
+  std::size_t old_db_passes = 0;     ///< level-batched old-db scans
+};
+
+/// Updates `old_frequent` (the complete result of mining `old_db` at
+/// `old_min_support`) after appending `delta`, producing the exact result
+/// at `new_min_support`. Requires new_min_support >= old_min_support
+/// (the FUP setting: the threshold does not drop).
+FupResult fup_update(const tdb::Database& old_db,
+                     const FrequentItemsets& old_frequent,
+                     Count old_min_support, const tdb::Database& delta,
+                     Count new_min_support);
+
+}  // namespace plt::core

@@ -1,0 +1,68 @@
+// Incremental PLT maintenance. The paper's construction (Algorithm 1) is a
+// batch scan; because the PLT is a pure frequency table keyed by position
+// vectors, it also supports transaction-level updates: adding a transaction
+// is one vector increment, removing one is a decrement. This module keeps a
+// PLT over the *unfiltered* alphabet (ranks = raw item ids, so the encoding
+// is stable under any update) and mines at query time with any threshold —
+// the conditional approach prunes infrequent items by itself, so no
+// re-filtering pass is needed.
+#pragma once
+
+#include "core/conditional.hpp"
+#include "core/itemset_collector.hpp"
+#include "core/plt.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::core {
+
+class IncrementalPlt {
+ public:
+  /// `max_item` bounds the item universe (ids 1..max_item).
+  explicit IncrementalPlt(Item max_item);
+
+  /// Adds one transaction (any iteration order; deduplicated). Items must
+  /// be in [1, max_item].
+  void add(std::span<const Item> transaction);
+  void add(std::initializer_list<Item> transaction) {
+    add(std::span<const Item>(transaction.begin(), transaction.size()));
+  }
+
+  /// Removes one previously-added transaction. Throws std::invalid_argument
+  /// if that exact transaction has no remaining occurrences.
+  void remove(std::span<const Item> transaction);
+  void remove(std::initializer_list<Item> transaction) {
+    remove(std::span<const Item>(transaction.begin(), transaction.size()));
+  }
+
+  /// Bulk-loads a database.
+  void add_all(const tdb::Database& db);
+
+  /// Number of live transactions.
+  Count size() const { return transactions_; }
+
+  /// Support of a single item.
+  Count item_support(Item item) const;
+
+  /// Mines all frequent itemsets at `min_support` from the current state;
+  /// equivalent to batch-building from scratch (tests enforce this).
+  FrequentItemsets mine(Count min_support,
+                        const ConditionalOptions& options = {}) const;
+
+  /// Reconstructs the equivalent database (transaction multiset; order is
+  /// not preserved).
+  tdb::Database to_database() const;
+
+  std::size_t distinct_vectors() const { return plt_.num_vectors(); }
+  std::size_t memory_usage() const;
+
+ private:
+  PosVec encode(std::span<const Item> transaction) const;
+
+  Item max_item_;
+  Plt plt_;
+  std::vector<Count> item_supports_;
+  Count transactions_ = 0;
+  mutable std::vector<Item> scratch_;
+};
+
+}  // namespace plt::core

@@ -1,0 +1,101 @@
+#include "core/itemset_collector.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace plt::core {
+
+void FrequentItemsets::add(std::span<const Item> items, Count support) {
+  PLT_ASSERT(!items.empty(), "the empty itemset is not reported");
+  items_.insert(items_.end(), items.begin(), items.end());
+  offsets_.push_back(items_.size());
+  supports_.push_back(support);
+}
+
+std::vector<std::size_t> FrequentItemsets::level_counts() const {
+  std::vector<std::size_t> counts;
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::size_t len = itemset(i).size();
+    if (len >= counts.size()) counts.resize(len + 1);
+    counts[len] += 1;
+  }
+  return counts;
+}
+
+std::size_t FrequentItemsets::max_length() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    best = std::max(best, itemset(i).size());
+  return best;
+}
+
+void FrequentItemsets::canonicalize() {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto ia = itemset(a), ib = itemset(b);
+    if (ia.size() != ib.size()) return ia.size() < ib.size();
+    if (!std::equal(ia.begin(), ia.end(), ib.begin()))
+      return std::lexicographical_compare(ia.begin(), ia.end(), ib.begin(),
+                                          ib.end());
+    // Duplicate itemsets (possible in hand-built collections) order by
+    // support so canonicalization is fully deterministic.
+    return supports_[a] < supports_[b];
+  });
+  FrequentItemsets sorted;
+  for (const std::size_t i : order) sorted.add(itemset(i), supports_[i]);
+  *this = std::move(sorted);
+}
+
+bool FrequentItemsets::equal(FrequentItemsets a, FrequentItemsets b) {
+  a.canonicalize();
+  b.canonicalize();
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.supports_[i] != b.supports_[i]) return false;
+    const auto ia = a.itemset(i), ib = b.itemset(i);
+    if (!std::equal(ia.begin(), ia.end(), ib.begin(), ib.end())) return false;
+  }
+  return true;
+}
+
+Count FrequentItemsets::find_support(std::span<const Item> items) const {
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto cand = itemset(i);
+    if (cand.size() == items.size() &&
+        std::equal(cand.begin(), cand.end(), items.begin()))
+      return supports_[i];
+  }
+  return 0;
+}
+
+std::string FrequentItemsets::to_string() const {
+  FrequentItemsets copy = *this;
+  copy.canonicalize();
+  std::ostringstream out;
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    const auto items = copy.itemset(i);
+    out << '{';
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (j) out << ',';
+      out << items[j];
+    }
+    out << "}:" << copy.support(i) << '\n';
+  }
+  return out.str();
+}
+
+std::size_t FrequentItemsets::memory_usage() const {
+  return items_.capacity() * sizeof(Item) +
+         offsets_.capacity() * sizeof(std::uint64_t) +
+         supports_.capacity() * sizeof(Count);
+}
+
+ItemsetSink collect_into(FrequentItemsets& out) {
+  return [&out](std::span<const Item> items, Count support) {
+    out.add(items, support);
+  };
+}
+
+}  // namespace plt::core

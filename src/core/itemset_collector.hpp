@@ -1,0 +1,65 @@
+// Result container shared by every miner in the repo: frequent itemsets in
+// *original item ids* with their supports, stored flat. Canonicalization
+// (sort itemsets lexicographically) makes results from different miners
+// directly comparable in tests and benches.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace plt::core {
+
+class FrequentItemsets {
+ public:
+  void add(std::span<const Item> items, Count support);
+  void add(const Itemset& items, Count support) {
+    add(std::span<const Item>(items), support);
+  }
+
+  std::size_t size() const { return supports_.size(); }
+  bool empty() const { return supports_.empty(); }
+
+  std::span<const Item> itemset(std::size_t i) const {
+    return {items_.data() + offsets_[i],
+            static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+  Count support(std::size_t i) const { return supports_[i]; }
+
+  /// Number of itemsets of each length; index = length.
+  std::vector<std::size_t> level_counts() const;
+
+  /// Length of the longest itemset.
+  std::size_t max_length() const;
+
+  /// Sorts itemsets by (length, lexicographic) — canonical order.
+  void canonicalize();
+
+  /// Exact equality after canonicalization of both sides.
+  static bool equal(FrequentItemsets a, FrequentItemsets b);
+
+  /// Returns the support of `items` (which must be sorted), or 0 when the
+  /// itemset was not mined. Linear scan — intended for tests.
+  Count find_support(std::span<const Item> items) const;
+
+  /// "{1,3,5}:4" lines, canonical order.
+  std::string to_string() const;
+
+  std::size_t memory_usage() const;
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::uint64_t> offsets_ = {0};
+  std::vector<Count> supports_;
+};
+
+/// Callback signature every miner reports through.
+using ItemsetSink = std::function<void(std::span<const Item>, Count)>;
+
+/// Sink that appends into a FrequentItemsets.
+ItemsetSink collect_into(FrequentItemsets& out);
+
+}  // namespace plt::core

@@ -1,0 +1,193 @@
+#include "core/miner.hpp"
+
+#include "baselines/ais.hpp"
+#include "baselines/apriori.hpp"
+#include "baselines/brute.hpp"
+#include "baselines/dic.hpp"
+#include "baselines/partition_alg.hpp"
+#include "baselines/eclat.hpp"
+#include "baselines/fpgrowth.hpp"
+#include "baselines/hmine.hpp"
+#include "core/builder.hpp"
+#include "core/conditional.hpp"
+#include "core/topdown.hpp"
+#include "util/timer.hpp"
+
+namespace plt::core {
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPltConditional: return "plt-conditional";
+    case Algorithm::kPltConditionalNoFilter: return "plt-cond-nofilter";
+    case Algorithm::kPltTopDownCanonical: return "plt-topdown";
+    case Algorithm::kPltTopDownSweep: return "plt-topdown-sweep";
+    case Algorithm::kAis: return "ais";
+    case Algorithm::kApriori: return "apriori";
+    case Algorithm::kAprioriTid: return "apriori-tid";
+    case Algorithm::kDhp: return "dhp";
+    case Algorithm::kDic: return "dic";
+    case Algorithm::kPartition: return "partition";
+    case Algorithm::kFpGrowth: return "fp-growth";
+    case Algorithm::kHMine: return "h-mine";
+    case Algorithm::kEclat: return "eclat";
+    case Algorithm::kDEclat: return "declat";
+    case Algorithm::kBruteForce: return "brute-force";
+  }
+  return "?";
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> algorithms = {
+      Algorithm::kPltConditional,     Algorithm::kPltConditionalNoFilter,
+      Algorithm::kPltTopDownCanonical, Algorithm::kPltTopDownSweep,
+      Algorithm::kAis,                Algorithm::kApriori,
+      Algorithm::kAprioriTid,
+      Algorithm::kDhp,                Algorithm::kDic,
+      Algorithm::kPartition,          Algorithm::kFpGrowth,
+      Algorithm::kHMine,              Algorithm::kEclat,
+      Algorithm::kDEclat};
+  return algorithms;
+}
+
+namespace {
+
+MineResult mine_plt_family(const tdb::Database& db, Count min_support,
+                           Algorithm algorithm, const MineOptions& options) {
+  MineResult result;
+  Timer build_timer;
+  RankedView view = build_ranked_view(db, min_support, options.item_order);
+  const auto sink = collect_into(result.itemsets);
+
+  switch (algorithm) {
+    case Algorithm::kPltConditional:
+    case Algorithm::kPltConditionalNoFilter: {
+      if (view.alphabet() == 0) break;
+      const auto max_rank = static_cast<Rank>(view.alphabet());
+      Plt plt = build_plt(view.db, max_rank);
+      result.build_seconds = build_timer.seconds();
+      result.structure_bytes = plt.memory_usage();
+      Timer mine_timer;
+      ConditionalOptions cond;
+      cond.filter_conditional_items =
+          (algorithm == Algorithm::kPltConditional);
+      std::vector<Item> item_of(max_rank);
+      for (Rank r = 1; r <= max_rank; ++r) item_of[r - 1] = view.item_of(r);
+      std::vector<Item> suffix;
+      mine_plt_conditional(plt, item_of, suffix, min_support, sink, cond);
+      result.mine_seconds = mine_timer.seconds();
+      break;
+    }
+    case Algorithm::kPltTopDownCanonical:
+    case Algorithm::kPltTopDownSweep: {
+      result.build_seconds = build_timer.seconds();
+      Timer mine_timer;
+      TopDownOptions topdown;
+      topdown.max_transaction_len = options.topdown_max_transaction_len;
+      TopDownStats stats;
+      mine_topdown(view, min_support, sink,
+                   algorithm == Algorithm::kPltTopDownCanonical
+                       ? TopDownVariant::kCanonical
+                       : TopDownVariant::kSweep,
+                   topdown, &stats);
+      result.structure_bytes = stats.table_bytes;
+      result.mine_seconds = mine_timer.seconds();
+      break;
+    }
+    default:
+      PLT_ASSERT(false, "not a PLT-family algorithm");
+  }
+  return result;
+}
+
+}  // namespace
+
+MineResult mine(const tdb::Database& db, Count min_support,
+                Algorithm algorithm, const MineOptions& options) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  switch (algorithm) {
+    case Algorithm::kPltConditional:
+    case Algorithm::kPltConditionalNoFilter:
+    case Algorithm::kPltTopDownCanonical:
+    case Algorithm::kPltTopDownSweep:
+      return mine_plt_family(db, min_support, algorithm, options);
+    case Algorithm::kAis:
+    case Algorithm::kApriori:
+    case Algorithm::kAprioriTid:
+    case Algorithm::kDhp:
+    case Algorithm::kDic:
+    case Algorithm::kPartition: {
+      MineResult result;
+      baselines::BaselineStats stats;
+      const auto sink = collect_into(result.itemsets);
+      switch (algorithm) {
+        case Algorithm::kAis:
+          baselines::mine_ais(db, min_support, sink, &stats);
+          break;
+        case Algorithm::kApriori:
+          baselines::mine_apriori(db, min_support, sink, &stats);
+          break;
+        case Algorithm::kAprioriTid:
+          baselines::mine_apriori_tid(db, min_support, sink, &stats);
+          break;
+        case Algorithm::kDhp:
+          baselines::mine_dhp(db, min_support, sink, &stats);
+          break;
+        case Algorithm::kDic:
+          baselines::mine_dic(db, min_support, sink, &stats);
+          break;
+        default:
+          baselines::mine_partition(db, min_support, sink, &stats);
+          break;
+      }
+      result.build_seconds = stats.build_seconds;
+      result.mine_seconds = stats.mine_seconds;
+      result.structure_bytes = stats.structure_bytes;
+      return result;
+    }
+    case Algorithm::kHMine: {
+      MineResult result;
+      baselines::BaselineStats stats;
+      baselines::mine_hmine(db, min_support, collect_into(result.itemsets),
+                            &stats);
+      result.build_seconds = stats.build_seconds;
+      result.mine_seconds = stats.mine_seconds;
+      result.structure_bytes = stats.structure_bytes;
+      return result;
+    }
+    case Algorithm::kFpGrowth: {
+      MineResult result;
+      baselines::BaselineStats stats;
+      baselines::mine_fpgrowth(db, min_support,
+                               collect_into(result.itemsets), &stats);
+      result.build_seconds = stats.build_seconds;
+      result.mine_seconds = stats.mine_seconds;
+      result.structure_bytes = stats.structure_bytes;
+      return result;
+    }
+    case Algorithm::kEclat:
+    case Algorithm::kDEclat: {
+      MineResult result;
+      baselines::BaselineStats stats;
+      const auto miner = algorithm == Algorithm::kEclat
+                             ? baselines::mine_eclat
+                             : baselines::mine_declat;
+      miner(db, min_support, collect_into(result.itemsets), &stats);
+      result.build_seconds = stats.build_seconds;
+      result.mine_seconds = stats.mine_seconds;
+      result.structure_bytes = stats.structure_bytes;
+      return result;
+    }
+    case Algorithm::kBruteForce: {
+      MineResult result;
+      Timer timer;
+      baselines::mine_brute_force(db, min_support,
+                                  collect_into(result.itemsets));
+      result.mine_seconds = timer.seconds();
+      return result;
+    }
+  }
+  PLT_ASSERT(false, "unknown algorithm");
+  return {};
+}
+
+}  // namespace plt::core

@@ -1,0 +1,56 @@
+// Unified mining facade: one entry point over every algorithm in the repo —
+// the paper's two PLT approaches plus the literature baselines — so tests,
+// examples and benches drive them identically.
+#pragma once
+
+#include <string>
+
+#include "core/itemset_collector.hpp"
+#include "tdb/database.hpp"
+#include "tdb/remap.hpp"
+
+namespace plt::core {
+
+enum class Algorithm {
+  kPltConditional,      ///< §5.1 Algorithm 3 (with item filtering)
+  kPltConditionalNoFilter,  ///< literal Algorithm 3 (ablation)
+  kPltTopDownCanonical, ///< §5 Algorithm 2, lazy tail-drops
+  kPltTopDownSweep,     ///< §5 Algorithm 2, prefixes at construction
+  kAis,                 ///< Agrawal, Imielinski & Swami, SIGMOD'93 [1]
+  kApriori,             ///< Agrawal & Srikant, VLDB'94 [2]
+  kAprioriTid,          ///< same paper [2], encoded-database counting
+  kDhp,                 ///< Park, Chen & Yu, SIGMOD'95 [5] (hash pruning)
+  kDic,                 ///< Brin et al., SIGMOD'97 [7] (dynamic counting)
+  kPartition,           ///< Savasere et al., VLDB'95 (two-pass chunks)
+  kFpGrowth,            ///< Han, Pei & Yin, SIGMOD'00 [3]
+  kHMine,               ///< Pei et al., ICDM'01 [8] (pseudo-projection)
+  kEclat,               ///< Zaki, TKDE'00 [12] (tidsets)
+  kDEclat,              ///< Zaki & Gouda, KDD'03 [16] (diffsets)
+  kBruteForce           ///< oracle, exponential — tests only
+};
+
+const char* algorithm_name(Algorithm algorithm);
+
+/// All registered algorithms in a stable order (brute force excluded).
+const std::vector<Algorithm>& all_algorithms();
+
+struct MineOptions {
+  tdb::ItemOrder item_order = tdb::ItemOrder::kById;
+  /// Passed through to the top-down guards.
+  std::uint32_t topdown_max_transaction_len = 24;
+};
+
+struct MineResult {
+  FrequentItemsets itemsets;
+  double build_seconds = 0.0;  ///< structure construction (incl. first scan)
+  double mine_seconds = 0.0;   ///< enumeration
+  std::size_t structure_bytes = 0;  ///< logical footprint of the built index
+};
+
+/// Mines `db` at absolute support `min_support` with the chosen algorithm.
+/// Itemsets are reported in original item ids and are exactly comparable
+/// across algorithms via FrequentItemsets::equal.
+MineResult mine(const tdb::Database& db, Count min_support,
+                Algorithm algorithm, const MineOptions& options = {});
+
+}  // namespace plt::core

@@ -1,0 +1,44 @@
+// Query-style mining entry points on top of the PLT miners:
+//   * top-k frequent itemsets (threshold search over the monotone
+//     count-vs-support curve)
+//   * constrained mining — all frequent itemsets containing a given set,
+//     answered on the projected database (the conditional idea applied to
+//     an arbitrary item constraint instead of a single suffix item).
+#pragma once
+
+#include <optional>
+
+#include "core/itemset_collector.hpp"
+#include "core/miner.hpp"
+
+namespace plt::core {
+
+struct TopKOptions {
+  std::size_t min_length = 1;  ///< ignore itemsets shorter than this
+  Algorithm algorithm = Algorithm::kPltConditional;
+};
+
+/// The k most frequent itemsets (ties at the cut kept, so the result can
+/// exceed k by the tie group). Uses a descending threshold search: supports
+/// are monotone in the threshold, so the search runs O(log |D|) mining
+/// passes. Returns fewer than k when the database has fewer itemsets.
+FrequentItemsets mine_top_k(const tdb::Database& db, std::size_t k,
+                            const TopKOptions& options = {});
+
+struct ConstrainedResult {
+  /// Support of the constraint itemset itself; nullopt when the constraint
+  /// is not frequent at min_support (then `itemsets` is empty).
+  std::optional<Count> constraint_support;
+  /// Frequent itemsets that contain every constraint item (including the
+  /// constraint itself when frequent).
+  FrequentItemsets itemsets;
+};
+
+/// Mines all frequent itemsets (at `min_support` over the FULL database)
+/// that contain every item of `constraint`: the database is projected onto
+/// the transactions containing the constraint, the projection is mined, and
+/// the constraint is folded back into each result.
+ConstrainedResult mine_containing(const tdb::Database& db, Count min_support,
+                                  const Itemset& constraint);
+
+}  // namespace plt::core

@@ -1,0 +1,24 @@
+#include "core/rank.hpp"
+
+#include <algorithm>
+
+namespace plt::core {
+
+RankedView build_ranked_view(const tdb::Database& db, Count min_support,
+                             tdb::ItemOrder order) {
+  RankedView view;
+  view.min_support = min_support;
+  view.remap = tdb::build_remap(db, min_support, order);
+  view.db = tdb::apply_remap(db, view.remap);
+  return view;
+}
+
+Itemset ranks_to_items(const RankedView& view, std::span<const Rank> ranks) {
+  Itemset items;
+  items.reserve(ranks.size());
+  for (const Rank r : ranks) items.push_back(view.item_of(r));
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace plt::core

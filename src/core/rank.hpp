@@ -1,0 +1,42 @@
+// The Rank function (Definition 4.1.1): a bijection between the frequent
+// items of a database and 1..n that preserves the chosen order. A RankedView
+// bundles the rank map with the re-expressed database so the PLT layer can
+// treat item ids and ranks as the same thing.
+#pragma once
+
+#include "tdb/database.hpp"
+#include "tdb/remap.hpp"
+
+namespace plt::core {
+
+/// A database whose items *are* ranks 1..alphabet (dense, gap-free), plus
+/// the mapping back to the original item ids.
+struct RankedView {
+  tdb::Database db;      ///< transactions over ranks 1..alphabet
+  tdb::Remap remap;      ///< rank <-> original item translation
+  Count min_support = 0; ///< the threshold the view was built for
+
+  std::size_t alphabet() const { return remap.alphabet_size(); }
+
+  /// Original item id for a rank (ranks are 1-based).
+  Item item_of(Rank rank) const { return remap.unmap(rank); }
+
+  /// Support of a rank's item in the source database.
+  Count support_of(Rank rank) const {
+    PLT_ASSERT(rank >= 1 && rank <= remap.support.size(),
+               "rank out of range");
+    return remap.support[rank - 1];
+  }
+};
+
+/// First scan of Algorithm 1: find frequent items, assign ranks, and
+/// re-express the database over ranks (infrequent items dropped, empty
+/// transactions removed).
+RankedView build_ranked_view(const tdb::Database& db, Count min_support,
+                             tdb::ItemOrder order = tdb::ItemOrder::kById);
+
+/// Converts a mined itemset of ranks back to sorted original item ids.
+Itemset ranks_to_items(const RankedView& view,
+                       std::span<const Rank> ranks);
+
+}  // namespace plt::core

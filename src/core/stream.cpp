@@ -1,0 +1,40 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+
+namespace plt::core {
+
+SlidingWindowMiner::SlidingWindowMiner(std::size_t capacity, Item max_item)
+    : capacity_(capacity), plt_(max_item) {
+  PLT_ASSERT(capacity >= 1, "window capacity must be >= 1");
+}
+
+void SlidingWindowMiner::push(std::span<const Item> transaction) {
+  // Normalize exactly the way IncrementalPlt will see it, so eviction can
+  // replay the same multiset element.
+  std::vector<Item> row(transaction.begin(), transaction.end());
+  std::sort(row.begin(), row.end());
+  row.erase(std::unique(row.begin(), row.end()), row.end());
+  if (row.empty()) return;
+
+  if (window_.size() == capacity_) {
+    plt_.remove(window_.front());
+    window_.pop_front();
+  }
+  plt_.add(row);
+  window_.push_back(std::move(row));
+}
+
+tdb::Database SlidingWindowMiner::window_database() const {
+  tdb::Database db;
+  for (const auto& row : window_) db.add(row);
+  return db;
+}
+
+std::size_t SlidingWindowMiner::memory_usage() const {
+  std::size_t bytes = plt_.memory_usage();
+  for (const auto& row : window_) bytes += row.capacity() * sizeof(Item);
+  return bytes;
+}
+
+}  // namespace plt::core

@@ -1,0 +1,48 @@
+// Sliding-window stream mining on top of the incremental PLT: the window
+// holds the last W transactions; arrivals are O(1) vector increments and
+// the expired transaction is decremented back out. Mining at any moment is
+// exactly batch mining of the window content (tests enforce it) — the
+// "large, continuously growing databases" setting of the paper's §1 made
+// concrete.
+#pragma once
+
+#include <deque>
+
+#include "core/incremental.hpp"
+
+namespace plt::core {
+
+class SlidingWindowMiner {
+ public:
+  /// Window of the most recent `capacity` transactions over items
+  /// 1..max_item.
+  SlidingWindowMiner(std::size_t capacity, Item max_item);
+
+  /// Pushes one transaction; evicts the oldest when the window is full.
+  void push(std::span<const Item> transaction);
+  void push(std::initializer_list<Item> transaction) {
+    push(std::span<const Item>(transaction.begin(), transaction.size()));
+  }
+
+  std::size_t size() const { return window_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Frequent itemsets of the current window at absolute support
+  /// `min_support` (counted within the window).
+  FrequentItemsets mine(Count min_support) const { return plt_.mine(min_support); }
+
+  /// Support of one item within the window.
+  Count item_support(Item item) const { return plt_.item_support(item); }
+
+  /// Current window content, oldest first.
+  tdb::Database window_database() const;
+
+  std::size_t memory_usage() const;
+
+ private:
+  std::size_t capacity_;
+  IncrementalPlt plt_;
+  std::deque<std::vector<Item>> window_;
+};
+
+}  // namespace plt::core

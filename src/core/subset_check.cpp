@@ -1,0 +1,67 @@
+#include "core/subset_check.hpp"
+
+#include <algorithm>
+
+namespace plt::core {
+
+bool positional_subset(std::span<const Pos> x, std::span<const Pos> y) {
+  if (x.size() > y.size()) return false;
+  // Stream both prefix-sum sequences; every sum of x must appear in y's.
+  Rank xsum = 0, ysum = 0;
+  std::size_t yi = 0;
+  for (const Pos px : x) {
+    xsum += px;
+    while (yi < y.size()) {
+      ysum += y[yi++];
+      if (ysum >= xsum) break;
+    }
+    if (ysum != xsum) return false;
+  }
+  return true;
+}
+
+bool ranks_subset_of(std::span<const Rank> ranks, std::span<const Pos> y) {
+  if (ranks.size() > y.size()) return false;
+  Rank ysum = 0;
+  std::size_t yi = 0;
+  for (const Rank r : ranks) {
+    while (yi < y.size()) {
+      ysum += y[yi++];
+      if (ysum >= r) break;
+    }
+    if (ysum != r) return false;
+  }
+  return true;
+}
+
+Count Plt_support_scan(const Plt& plt, std::span<const Rank> ranks) {
+  Count total = 0;
+  const Rank last = ranks.empty() ? 0 : ranks.back();
+  plt.for_each([&](Plt::Ref, std::span<const Pos> v,
+                   const Partition::Entry& e) {
+    // Cheap rejections first: the vector must be long enough and reach at
+    // least the itemset's highest rank (sum = highest rank, Lemma 4.1.1).
+    if (v.size() < ranks.size() || e.sum < last) return;
+    if (ranks_subset_of(ranks, v)) total += e.freq;
+  });
+  return total;
+}
+
+Count support_of(const Plt& plt, std::span<const Rank> ranks) {
+  if (ranks.empty()) return plt.total_freq();
+  return Plt_support_scan(plt, ranks);
+}
+
+Count support_of_scan(const tdb::Database& ranked_db,
+                      std::span<const Rank> ranks) {
+  Count total = 0;
+  for (std::size_t t = 0; t < ranked_db.size(); ++t) {
+    const auto row = ranked_db[t];
+    if (row.size() < ranks.size()) continue;
+    if (std::includes(row.begin(), row.end(), ranks.begin(), ranks.end()))
+      total += 1;
+  }
+  return total;
+}
+
+}  // namespace plt::core

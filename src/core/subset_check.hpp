@@ -1,0 +1,30 @@
+// Positional subset checking — the paper's headline "light subset checking"
+// (§1, §6). By Lemma 4.1.1 the prefix sums of a position vector are the
+// ranks of its items, so X ⊆ Y reduces to sorted-set inclusion of prefix
+// sums, computed in one streaming pass with no decode buffer.
+#pragma once
+
+#include "core/plt.hpp"
+#include "core/rank.hpp"
+
+namespace plt::core {
+
+/// True iff the itemset encoded by `x` is a subset of the one encoded by
+/// `y` (both position vectors over the same rank space).
+bool positional_subset(std::span<const Pos> x, std::span<const Pos> y);
+
+/// True iff the sorted rank sequence `ranks` is a subset of the itemset
+/// encoded by position vector `y`.
+bool ranks_subset_of(std::span<const Rank> ranks, std::span<const Pos> y);
+
+/// Exact support of an itemset (given as sorted ranks) by scanning the PLT:
+/// Σ freq over stored vectors that contain it. Requires a PLT built without
+/// prefix insertion (each transaction stored exactly once).
+Count support_of(const Plt& plt, std::span<const Rank> ranks);
+
+/// Same query answered against the raw ranked database, as the baseline the
+/// subset-check microbench compares against.
+Count support_of_scan(const tdb::Database& ranked_db,
+                      std::span<const Rank> ranks);
+
+}  // namespace plt::core

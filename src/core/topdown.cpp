@@ -1,0 +1,109 @@
+#include "core/topdown.hpp"
+
+#include <unordered_map>
+
+#include "core/builder.hpp"
+
+namespace plt::core {
+
+namespace {
+
+// Key for the active generation set: the position vector plus its limit.
+struct ActiveKey {
+  PosVec v;
+  std::uint32_t limit;
+  bool operator==(const ActiveKey& o) const {
+    return limit == o.limit && v == o.v;
+  }
+};
+
+struct ActiveKeyHash {
+  std::size_t operator()(const ActiveKey& k) const {
+    return static_cast<std::size_t>(Partition::hash(k.v) * 31 + k.limit);
+  }
+};
+
+using ActiveSet = std::unordered_map<ActiveKey, Count, ActiveKeyHash>;
+
+void check_guards(const RankedView& view, const TopDownOptions& options) {
+  for (std::size_t t = 0; t < view.db.size(); ++t) {
+    if (view.db[t].size() > options.max_transaction_len)
+      throw TopDownOverflow(
+          "top-down expansion refused: transaction of length " +
+          std::to_string(view.db[t].size()) + " exceeds the guard (" +
+          std::to_string(options.max_transaction_len) +
+          "); use the conditional approach for long transactions");
+  }
+}
+
+}  // namespace
+
+Plt topdown_expand(const RankedView& view, TopDownVariant variant,
+                   const TopDownOptions& options) {
+  check_guards(view, options);
+  const auto max_rank =
+      static_cast<Rank>(view.alphabet() == 0 ? 1 : view.alphabet());
+
+  BuildOptions build_options;
+  build_options.insert_prefixes = (variant == TopDownVariant::kSweep);
+  Plt base = build_plt(view.db, max_rank, build_options);
+  const std::uint32_t kmax = base.max_len();
+
+  // Result table: accumulates exact supports for every subset vector.
+  Plt result(max_rank);
+  // active[k-1]: vectors of length k still able to generate children.
+  std::vector<ActiveSet> active(kmax);
+
+  base.for_each([&](Plt::Ref ref, std::span<const Pos> v,
+                    const Partition::Entry& e) {
+    // Everything present in the base is a deletion-sequence prefix with
+    // full freedom below its own length.
+    active[ref.length - 1][ActiveKey{PosVec(v.begin(), v.end()),
+                                     ref.length}] += e.freq;
+    result.add(v, e.freq);
+  });
+
+  for (std::uint32_t k = kmax; k >= 2; --k) {
+    ActiveSet level = std::move(active[k - 1]);
+    for (const auto& [key, freq] : level) {
+      // In the sweep variant tail-drops are pre-inserted prefixes, so only
+      // merges are generated; in the canonical variant position p == k is
+      // the tail-drop.
+      const std::uint32_t top =
+          (variant == TopDownVariant::kSweep)
+              ? std::min(key.limit, k - 1)
+              : key.limit;
+      for (std::uint32_t p = 1; p <= top; ++p) {
+        PosVec child = (p == k) ? drop_last(key.v) : merge_at(key.v, p - 1);
+        result.add(child, freq);
+        if (result.num_vectors() > options.max_total_vectors)
+          throw TopDownOverflow(
+              "top-down expansion refused: vector budget exceeded (" +
+              std::to_string(options.max_total_vectors) + ")");
+        if (p >= 2)  // children with limit 0 generate nothing further
+          active[k - 2][ActiveKey{std::move(child), p - 1}] += freq;
+      }
+    }
+  }
+  return result;
+}
+
+void mine_topdown(const RankedView& view, Count min_support,
+                  const ItemsetSink& sink, TopDownVariant variant,
+                  const TopDownOptions& options, TopDownStats* stats) {
+  if (view.db.empty() || view.alphabet() == 0) return;
+  const Plt table = topdown_expand(view, variant, options);
+  if (stats) {
+    stats->expanded_vectors = table.num_vectors();
+    stats->table_bytes = table.memory_usage();
+  }
+  table.for_each([&](Plt::Ref, std::span<const Pos> v,
+                     const Partition::Entry& e) {
+    if (e.freq < min_support) return;
+    const auto ranks = to_ranks(v);
+    const Itemset items = ranks_to_items(view, ranks);
+    sink(items, e.freq);
+  });
+}
+
+}  // namespace plt::core

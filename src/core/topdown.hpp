@@ -1,0 +1,66 @@
+// The top-down approach (§5, Algorithm 2): propagate frequencies from each
+// level-k vector to all of its level-(k-1) subset vectors until every subset
+// of every transaction carries its exact support (Figure 4).
+//
+// Two variants, provably equivalent (tests cross-check them):
+//  * kSweep    — paper-faithful staging: all proper prefixes are inserted at
+//                construction time ("part A", §5), the sweep then generates
+//                only the adjacent-merge forms, shifting the merge point left.
+//  * kCanonical— prefixes are generated lazily as tail-drops.
+//
+// Duplicate-freedom: every derived vector carries `limit`, the largest
+// current position at which a deletion may still occur. Deleting the element
+// at position p (a tail-drop when p equals the current length, otherwise the
+// merge of (p, p+1)) yields a child with limit p-1, so each subset of each
+// transaction is produced by exactly one deletion sequence (elements deleted
+// in strictly decreasing original index).
+//
+// Cost note: the expansion materializes every distinct subset of every
+// transaction — exponential in transaction length. This is inherent to the
+// paper's method (it positions top-down for short/dense data at very low
+// minimum support); the guard options below fail fast otherwise.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/itemset_collector.hpp"
+#include "core/plt.hpp"
+#include "core/rank.hpp"
+
+namespace plt::core {
+
+enum class TopDownVariant { kCanonical, kSweep };
+
+struct TopDownOptions {
+  /// Hard cap on transaction length (2^len subsets); throws TopDownOverflow.
+  std::uint32_t max_transaction_len = 24;
+  /// Hard cap on distinct vectors materialized; throws TopDownOverflow.
+  std::size_t max_total_vectors = 64u << 20;
+};
+
+/// Thrown when the expansion would exceed the configured guards.
+struct TopDownOverflow : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs the full propagation and returns the subset-frequency table: a Plt
+/// in which every vector's freq equals the exact support of its itemset.
+/// This is the paper's Figure 4 state.
+Plt topdown_expand(const RankedView& view, TopDownVariant variant,
+                   const TopDownOptions& options = {});
+
+struct TopDownStats {
+  std::size_t expanded_vectors = 0;  ///< distinct subset vectors materialized
+  std::size_t table_bytes = 0;       ///< footprint of the expanded table
+};
+
+/// Full top-down mining: expand, then emit every itemset with
+/// support >= min_support through the sink (in original item ids).
+void mine_topdown(const RankedView& view, Count min_support,
+                  const ItemsetSink& sink,
+                  TopDownVariant variant = TopDownVariant::kCanonical,
+                  const TopDownOptions& options = {},
+                  TopDownStats* stats = nullptr);
+
+}  // namespace plt::core

@@ -1,0 +1,119 @@
+#include "core/tree_view.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plt::core {
+
+TreeView::NodeId TreeView::ensure_child(NodeId parent, Pos position) {
+  auto& children = nodes_[parent].children;
+  const auto it = std::lower_bound(
+      children.begin(), children.end(), position,
+      [&](NodeId id, Pos p) { return nodes_[id].position < p; });
+  if (it != children.end() && nodes_[*it].position == position) return *it;
+
+  Node node;
+  node.position = position;
+  node.rank = nodes_[parent].rank + position;
+  node.parent = parent;
+  nodes_.push_back(node);
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  // nodes_ may have reallocated; re-take the children reference.
+  auto& fresh = nodes_[parent].children;
+  const auto pos_it = std::lower_bound(
+      fresh.begin(), fresh.end(), position,
+      [&](NodeId nid, Pos p) { return nodes_[nid].position < p; });
+  fresh.insert(pos_it, id);
+  return id;
+}
+
+TreeView TreeView::from_plt(const Plt& plt) {
+  TreeView tree;
+  plt.for_each([&](Plt::Ref, std::span<const Pos> v,
+                   const Partition::Entry& e) {
+    NodeId node = kRoot;
+    for (const Pos p : v) node = tree.ensure_child(node, p);
+    tree.nodes_[node].freq += e.freq;
+  });
+  return tree;
+}
+
+TreeView TreeView::full_lexicographic(Rank max_rank) {
+  PLT_ASSERT(max_rank >= 1 && max_rank <= 16,
+             "full lexicographic tree guarded to max_rank <= 16");
+  TreeView tree;
+  // Node for every non-empty subset: children of a node at rank r are the
+  // ranks r+1..max_rank, i.e. positions 1..max_rank-r.
+  struct Frame {
+    NodeId id;
+    Rank rank;
+  };
+  std::vector<Frame> stack{{kRoot, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    for (Rank next = frame.rank + 1; next <= max_rank; ++next) {
+      const NodeId child =
+          tree.ensure_child(frame.id, next - frame.rank);
+      stack.push_back({child, next});
+    }
+  }
+  return tree;
+}
+
+Plt TreeView::to_plt(Rank max_rank) const {
+  Plt plt(max_rank);
+  walk([&](NodeId id, std::size_t) {
+    if (nodes_[id].freq == 0) return;
+    plt.add(path(id), nodes_[id].freq);
+  });
+  return plt;
+}
+
+TreeView::NodeId TreeView::child(NodeId id, Pos position) const {
+  const auto& children = nodes_[id].children;
+  const auto it = std::lower_bound(
+      children.begin(), children.end(), position,
+      [&](NodeId nid, Pos p) { return nodes_[nid].position < p; });
+  if (it != children.end() && nodes_[*it].position == position) return *it;
+  return kRoot;
+}
+
+TreeView::NodeId TreeView::find(std::span<const Pos> v) const {
+  NodeId node = kRoot;
+  for (const Pos p : v) {
+    node = child(node, p);
+    if (node == kRoot) return kRoot;
+  }
+  return node;
+}
+
+PosVec TreeView::path(NodeId id) const {
+  PosVec v;
+  for (NodeId cur = id; cur != kRoot; cur = nodes_[cur].parent)
+    v.push_back(nodes_[cur].position);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+
+std::string TreeView::to_string() const {
+  std::ostringstream out;
+  out << "(root)\n";
+  walk([&](NodeId id, std::size_t depth) {
+    const Node& n = nodes_[id];
+    out << std::string(depth * 2, ' ') << n.position << " (rank " << n.rank
+        << ')';
+    if (n.freq > 0) out << " freq=" << n.freq;
+    out << '\n';
+  });
+  return out.str();
+}
+
+std::size_t TreeView::memory_usage() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_)
+    bytes += n.children.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace plt::core

@@ -1,0 +1,78 @@
+// Physical tree form of the PLT — the paper's Figure 3(b) ("a physical tree
+// may also be assumed", §4.2) and the full lexicographic tree of Figure 1.
+//
+// The table form (Plt) is the mining workhorse; the tree form materializes
+// the same information as a linked prefix tree whose edges are labelled with
+// *position values* (rank gaps), for navigation, visualization and teaching.
+// Conversion is lossless in both directions (tests enforce the round trip).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plt.hpp"
+
+namespace plt::core {
+
+class TreeView {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kRoot = 0;
+
+  struct Node {
+    Pos position = 0;      ///< edge label from the parent (rank gap)
+    Rank rank = 0;         ///< absolute rank = parent rank + position
+    Count freq = 0;        ///< frequency of the path itemset (0 = internal)
+    NodeId parent = kRoot;
+    std::vector<NodeId> children;  ///< ordered by position ascending
+  };
+
+  /// Materializes the tree of every vector stored in `plt`.
+  static TreeView from_plt(const Plt& plt);
+
+  /// The full lexicographic tree over an alphabet of `max_rank` items
+  /// (Figure 1 / Figure 2), with all path frequencies zero. Exponential in
+  /// max_rank — guarded to max_rank <= 16.
+  static TreeView full_lexicographic(Rank max_rank);
+
+  /// Converts back to the table form (paths with freq > 0 become vectors).
+  Plt to_plt(Rank max_rank) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Child of `id` along edge `position`, or kRoot if absent.
+  NodeId child(NodeId id, Pos position) const;
+
+  /// Follows a position vector from the root; returns kRoot if the path is
+  /// not present in the tree.
+  NodeId find(std::span<const Pos> v) const;
+
+  /// The position vector of the path from the root to `id`.
+  PosVec path(NodeId id) const;
+
+  /// Depth-first traversal; fn(NodeId, depth).
+  template <typename Fn>
+  void walk(Fn&& fn) const {
+    walk_rec(kRoot, 0, fn);
+  }
+
+  /// ASCII rendering in the style of Figure 3(b): one node per line,
+  /// "pos(rank):freq", indented by depth.
+  std::string to_string() const;
+
+  std::size_t memory_usage() const;
+
+ private:
+  NodeId ensure_child(NodeId parent, Pos position);
+
+  template <typename Fn>
+  void walk_rec(NodeId id, std::size_t depth, Fn&& fn) const {
+    if (id != kRoot) fn(id, depth);
+    for (const NodeId c : nodes_[id].children) walk_rec(c, depth + 1, fn);
+  }
+
+  std::vector<Node> nodes_{1};  // node 0 is the root
+};
+
+}  // namespace plt::core

@@ -1,0 +1,42 @@
+#include "datagen/clickstream.hpp"
+
+#include <algorithm>
+
+#include "datagen/zipf.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+
+tdb::Database generate_clickstream(const ClickstreamConfig& cfg) {
+  PLT_ASSERT(cfg.pages >= 2, "clickstream: need at least two pages");
+  Rng rng(cfg.seed);
+  ZipfSampler popularity(cfg.pages, cfg.hub_exponent);
+
+  // Link graph: each page links to out_degree targets drawn by popularity.
+  const std::size_t degree = std::max<std::size_t>(1, cfg.out_degree);
+  std::vector<Item> links(cfg.pages * degree);
+  for (std::size_t p = 0; p < cfg.pages; ++p)
+    for (std::size_t d = 0; d < degree; ++d)
+      links[p * degree + d] = static_cast<Item>(popularity.sample(rng));
+
+  tdb::Database db;
+  db.reserve(cfg.sessions, cfg.sessions * 8);
+  std::vector<Item> session;
+  for (std::size_t s = 0; s < cfg.sessions; ++s) {
+    session.clear();
+    // Entry page by popularity.
+    Item page = static_cast<Item>(popularity.sample(rng));
+    session.push_back(page);
+    while (session.size() < cfg.max_session_len &&
+           !rng.next_bool(cfg.exit_probability)) {
+      const std::size_t row = static_cast<std::size_t>(page - 1) * degree;
+      page = links[row + rng.next_below(degree)];
+      session.push_back(page);
+    }
+    db.add(session);  // the *set* of visited pages; add() deduplicates
+  }
+  return db;
+}
+
+}  // namespace plt::datagen

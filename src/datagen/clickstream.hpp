@@ -1,0 +1,25 @@
+// Markov click-stream session generator: models "web page access habits"
+// (paper §1's motivating domain). Pages form a sparse random link graph with
+// Zipf-popular hubs; a session is the set of distinct pages visited by a
+// random walk with a per-step exit probability.
+#pragma once
+
+#include <cstdint>
+
+#include "tdb/database.hpp"
+
+namespace plt::datagen {
+
+struct ClickstreamConfig {
+  std::size_t sessions = 10000;
+  std::size_t pages = 500;
+  std::size_t out_degree = 8;     ///< links per page
+  double exit_probability = 0.15; ///< chance each step ends the session
+  double hub_exponent = 1.0;      ///< Zipf exponent for link-target popularity
+  std::size_t max_session_len = 40;
+  std::uint64_t seed = 1;
+};
+
+tdb::Database generate_clickstream(const ClickstreamConfig& config);
+
+}  // namespace plt::datagen

@@ -1,0 +1,87 @@
+#include "datagen/dense.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+
+tdb::Database generate_dense(const DenseConfig& cfg) {
+  PLT_ASSERT(cfg.items >= 2, "dense: alphabet too small");
+  PLT_ASSERT(cfg.density > 0.0 && cfg.density <= 1.0,
+             "dense: density must be in (0,1]");
+  Rng rng(cfg.seed);
+
+  // Build per-class cores: random subsets of the alphabet whose size is the
+  // core share of the expected row length.
+  const auto row_len = std::max<std::size_t>(
+      2, static_cast<std::size_t>(cfg.density *
+                                  static_cast<double>(cfg.items)));
+  const auto core_len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.core_fraction *
+                                  static_cast<double>(row_len)));
+  const std::size_t classes = std::max<std::size_t>(1, cfg.classes);
+
+  std::vector<std::vector<Item>> cores(classes);
+  std::vector<Item> alphabet(cfg.items);
+  for (std::size_t i = 0; i < cfg.items; ++i)
+    alphabet[i] = static_cast<Item>(i + 1);
+  for (auto& core : cores) {
+    auto pool = alphabet;
+    rng.shuffle(pool);
+    core.assign(pool.begin(),
+                pool.begin() + static_cast<std::ptrdiff_t>(core_len));
+  }
+
+  const std::size_t universal = std::min(cfg.universal_items, cfg.items);
+
+  tdb::Database db;
+  db.reserve(cfg.transactions, cfg.transactions * row_len);
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < cfg.transactions; ++t) {
+    const auto& core = cores[rng.next_below(classes)];
+    row.assign(core.begin(), core.end());
+    for (std::size_t u = 1; u <= universal; ++u)
+      if (rng.next_bool(cfg.universal_probability))
+        row.push_back(static_cast<Item>(u));
+    // Fill the remainder uniformly from the alphabet; duplicates are removed
+    // by Database::add, so keep drawing until the target size is reached.
+    std::size_t guard = 0;
+    while (row.size() < row_len && guard++ < cfg.items * 4) {
+      row.push_back(alphabet[rng.next_below(cfg.items)]);
+      std::sort(row.begin(), row.end());
+      row.erase(std::unique(row.begin(), row.end()), row.end());
+    }
+    db.add(row);
+  }
+  return db;
+}
+
+DenseConfig chess_like(std::size_t transactions, std::uint64_t seed) {
+  DenseConfig cfg;
+  cfg.transactions = transactions;
+  cfg.items = 75;
+  cfg.density = 0.49;
+  cfg.classes = 4;
+  cfg.core_fraction = 0.6;
+  cfg.universal_items = 12;
+  cfg.universal_probability = 0.92;
+  cfg.seed = seed;
+  return cfg;
+}
+
+DenseConfig mushroom_like(std::size_t transactions, std::uint64_t seed) {
+  DenseConfig cfg;
+  cfg.transactions = transactions;
+  cfg.items = 119;
+  cfg.density = 0.19;
+  cfg.classes = 10;
+  cfg.core_fraction = 0.5;
+  cfg.universal_items = 6;
+  cfg.universal_probability = 0.95;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace plt::datagen

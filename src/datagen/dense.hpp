@@ -1,0 +1,38 @@
+// Dense-dataset generators standing in for the FIMI dense benchmarks
+// (chess: 3196×75, density ~0.49; mushroom: 8124×119, density ~0.19).
+// Dense data = small alphabet, long transactions, strong item correlations —
+// the regime where the paper positions both PLT mining modes.
+#pragma once
+
+#include <cstdint>
+
+#include "tdb/database.hpp"
+
+namespace plt::datagen {
+
+struct DenseConfig {
+  std::size_t transactions = 3000;
+  std::size_t items = 75;            ///< alphabet size
+  double density = 0.45;             ///< expected fraction of alphabet per row
+  /// Number of latent "classes"; rows of a class share a core itemset,
+  /// producing the block correlations of chess/mushroom-like data.
+  std::size_t classes = 6;
+  double core_fraction = 0.5;        ///< fraction of a row drawn from the core
+  /// First `universal_items` ids appear in (almost) every row with
+  /// probability `universal_probability` — the near-100%-support attributes
+  /// that dominate chess/mushroom and make high-support sweeps meaningful.
+  std::size_t universal_items = 0;
+  double universal_probability = 0.9;
+  std::uint64_t seed = 1;
+};
+
+tdb::Database generate_dense(const DenseConfig& config);
+
+/// Preset approximating the chess benchmark's shape.
+DenseConfig chess_like(std::size_t transactions = 3196,
+                       std::uint64_t seed = 7);
+/// Preset approximating the mushroom benchmark's shape.
+DenseConfig mushroom_like(std::size_t transactions = 8124,
+                          std::uint64_t seed = 11);
+
+}  // namespace plt::datagen

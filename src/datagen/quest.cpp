@@ -1,0 +1,111 @@
+#include "datagen/quest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace plt::datagen {
+
+namespace {
+
+struct Pattern {
+  std::vector<Item> items;
+  double weight = 0.0;
+  double corruption = 0.0;  // probability each tail item is dropped
+};
+
+// Items inside patterns are picked with a mild skew so some items are far
+// more popular than others (as in the Quest generator's Zipf-ish pick).
+Item pick_item(Rng& rng, std::size_t universe) {
+  // Square the uniform draw: low ids become quadratically more likely.
+  const double u = rng.next_double();
+  const auto idx =
+      static_cast<std::size_t>(u * u * static_cast<double>(universe));
+  return static_cast<Item>(std::min(idx, universe - 1) + 1);
+}
+
+std::vector<Pattern> make_patterns(const QuestConfig& cfg, Rng& rng) {
+  std::vector<Pattern> pool;
+  pool.reserve(cfg.patterns);
+  std::vector<Item> prev;
+  double weight_sum = 0.0;
+  for (std::size_t p = 0; p < cfg.patterns; ++p) {
+    Pattern pat;
+    std::size_t len = std::max<std::size_t>(
+        1, static_cast<std::size_t>(rng.next_poisson(cfg.avg_pattern_len)));
+    len = std::min(len, cfg.items);
+    // Correlated prefix: keep a random fraction (mean = correlation) of the
+    // previous pattern.
+    if (!prev.empty() && cfg.correlation > 0.0) {
+      const auto keep = static_cast<std::size_t>(
+          std::min(1.0, rng.next_exponential(cfg.correlation)) *
+          static_cast<double>(prev.size()));
+      pat.items.assign(prev.begin(),
+                       prev.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(keep, prev.size())));
+    }
+    while (pat.items.size() < len) pat.items.push_back(pick_item(rng, cfg.items));
+    std::sort(pat.items.begin(), pat.items.end());
+    pat.items.erase(std::unique(pat.items.begin(), pat.items.end()),
+                    pat.items.end());
+    pat.weight = rng.next_exponential(1.0);
+    weight_sum += pat.weight;
+    // Corruption level clamped to [0, 1); normal around the mean per paper.
+    pat.corruption =
+        std::clamp(rng.next_normal(cfg.corruption_mean, 0.1), 0.0, 0.95);
+    prev = pat.items;
+    pool.push_back(std::move(pat));
+  }
+  for (auto& pat : pool) pat.weight /= weight_sum;
+  return pool;
+}
+
+}  // namespace
+
+tdb::Database generate_quest(const QuestConfig& cfg) {
+  PLT_ASSERT(cfg.items >= 1, "quest: need a non-empty item universe");
+  PLT_ASSERT(cfg.patterns >= 1, "quest: need at least one pattern");
+  Rng rng(cfg.seed);
+  const auto pool = make_patterns(cfg, rng);
+
+  // Cumulative weights for pattern sampling.
+  std::vector<double> cumulative(pool.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    acc += pool[i].weight;
+    cumulative[i] = acc;
+  }
+
+  tdb::Database db;
+  db.reserve(cfg.transactions,
+             static_cast<std::size_t>(static_cast<double>(cfg.transactions) *
+                                      cfg.avg_transaction_len));
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < cfg.transactions; ++t) {
+    std::size_t target = std::max<std::size_t>(
+        1,
+        static_cast<std::size_t>(rng.next_poisson(cfg.avg_transaction_len)));
+    target = std::min(target, cfg.items);
+    row.clear();
+    // Fill from weighted patterns, dropping a corrupted suffix of each.
+    std::size_t guard = 0;
+    while (row.size() < target && guard++ < 64) {
+      const double u = rng.next_double() * acc;
+      const auto it =
+          std::lower_bound(cumulative.begin(), cumulative.end(), u);
+      const auto& pat =
+          pool[static_cast<std::size_t>(it - cumulative.begin())];
+      for (const Item item : pat.items) {
+        if (rng.next_bool(pat.corruption)) continue;  // corrupted away
+        row.push_back(item);
+        if (row.size() >= target) break;
+      }
+    }
+    if (row.empty()) row.push_back(pick_item(rng, cfg.items));
+    db.add(row);
+  }
+  return db;
+}
+
+}  // namespace plt::datagen

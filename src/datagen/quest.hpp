@@ -1,0 +1,35 @@
+// IBM Quest-style synthetic market-basket generator — the process that
+// produced the classic T10I4D100K / T40I10D100K FIMI benchmarks
+// (Agrawal & Srikant, VLDB'94, §4.1). Substitution note (DESIGN.md): the
+// original FIMI files are not shipped; this generator reproduces their
+// statistical character (sparse, skewed, correlated patterns).
+//
+// Process: draw |L| maximal potentially-frequent patterns whose lengths are
+// Poisson(avg_pattern_len); successive patterns share a prefix fraction
+// (correlation); each pattern has an exponential weight and a corruption
+// level. Each transaction draws Poisson(avg_transaction_len) items by
+// sampling weighted patterns, dropping corrupted tails, until full.
+#pragma once
+
+#include <cstdint>
+
+#include "tdb/database.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+
+struct QuestConfig {
+  std::size_t transactions = 10000;    ///< |D|
+  std::size_t items = 1000;            ///< |I| — universe size N
+  double avg_transaction_len = 10.0;   ///< T
+  double avg_pattern_len = 4.0;        ///< I
+  std::size_t patterns = 200;          ///< |L| — candidate pattern pool
+  double correlation = 0.5;            ///< prefix kept from previous pattern
+  double corruption_mean = 0.5;        ///< mean corruption level
+  std::uint64_t seed = 1;
+};
+
+/// Generates a database per the config. Deterministic in (config, seed).
+tdb::Database generate_quest(const QuestConfig& config);
+
+}  // namespace plt::datagen

@@ -1,0 +1,113 @@
+#include "datagen/registry.hpp"
+
+#include <stdexcept>
+
+#include "datagen/clickstream.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/zipf.hpp"
+
+namespace plt::datagen {
+
+namespace {
+
+tdb::Database gen_quest_sparse(std::size_t transactions, std::uint64_t seed) {
+  QuestConfig cfg;  // T10 I4 — the T10I4D100K shape
+  cfg.transactions = transactions;
+  cfg.items = 870;  // T10I4D100K has ~870 distinct items
+  cfg.avg_transaction_len = 10.0;
+  cfg.avg_pattern_len = 4.0;
+  cfg.patterns = 300;
+  cfg.seed = seed;
+  return generate_quest(cfg);
+}
+
+tdb::Database gen_quest_wide(std::size_t transactions, std::uint64_t seed) {
+  QuestConfig cfg;  // T40 I10 — the T40I10D100K shape
+  cfg.transactions = transactions;
+  cfg.items = 1000;
+  cfg.avg_transaction_len = 20.0;
+  cfg.avg_pattern_len = 8.0;
+  cfg.patterns = 400;
+  cfg.seed = seed;
+  return generate_quest(cfg);
+}
+
+tdb::Database gen_chess_like(std::size_t transactions, std::uint64_t seed) {
+  auto cfg = chess_like(transactions, seed);
+  return generate_dense(cfg);
+}
+
+tdb::Database gen_mushroom_like(std::size_t transactions,
+                                std::uint64_t seed) {
+  auto cfg = mushroom_like(transactions, seed);
+  return generate_dense(cfg);
+}
+
+tdb::Database gen_zipf_sparse(std::size_t transactions, std::uint64_t seed) {
+  ZipfConfig cfg;
+  cfg.transactions = transactions;
+  cfg.items = 2000;
+  cfg.exponent = 1.1;
+  cfg.avg_transaction_len = 8.0;
+  cfg.seed = seed;
+  return generate_zipf(cfg);
+}
+
+tdb::Database gen_clickstream(std::size_t transactions, std::uint64_t seed) {
+  ClickstreamConfig cfg;
+  cfg.sessions = transactions;
+  cfg.seed = seed;
+  return generate_clickstream(cfg);
+}
+
+// Short dense rows: the regime the paper recommends for top-down mining
+// (bounded subset explosion, very low minimum support).
+tdb::Database gen_short_dense(std::size_t transactions, std::uint64_t seed) {
+  DenseConfig cfg;
+  cfg.transactions = transactions;
+  cfg.items = 30;
+  cfg.density = 0.25;  // rows of ~7 items over a 30-item alphabet
+  cfg.classes = 3;
+  cfg.core_fraction = 0.6;
+  cfg.seed = seed;
+  return generate_dense(cfg);
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_registry() {
+  static const std::vector<DatasetSpec> registry = {
+      {"quest-sparse", "Quest T10/I4, 870 items (T10I4D100K shape)",
+       &gen_quest_sparse, 20000, 42},
+      {"quest-wide", "Quest T20/I8, 1000 items (T40I10D100K shape, scaled)",
+       &gen_quest_wide, 10000, 43},
+      {"chess-like", "dense 75-item alphabet, density 0.49 (chess shape)",
+       &gen_chess_like, 3196, 7},
+      {"mushroom-like", "dense 119-item alphabet, density 0.19 (mushroom)",
+       &gen_mushroom_like, 8124, 11},
+      {"zipf-sparse", "independent Zipf(1.1) items, 2000-item alphabet",
+       &gen_zipf_sparse, 20000, 13},
+      {"clickstream", "Markov web sessions over a 500-page link graph",
+       &gen_clickstream, 15000, 17},
+      {"short-dense", "30-item alphabet, ~7-item rows (top-down regime)",
+       &gen_short_dense, 5000, 19},
+  };
+  return registry;
+}
+
+tdb::Database make_dataset(const std::string& name) {
+  for (const auto& spec : dataset_registry())
+    if (spec.name == name)
+      return spec.generate(spec.default_transactions, spec.default_seed);
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+tdb::Database make_dataset(const std::string& name, std::size_t transactions,
+                           std::uint64_t seed) {
+  for (const auto& spec : dataset_registry())
+    if (spec.name == name) return spec.generate(transactions, seed);
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+}  // namespace plt::datagen

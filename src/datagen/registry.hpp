@@ -1,0 +1,33 @@
+// Named dataset registry: maps the dataset names used throughout the benches
+// and EXPERIMENTS.md ("quest-sparse", "chess-like", ...) to fully-specified
+// generator configurations, so every experiment is reproducible by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tdb/database.hpp"
+
+namespace plt::datagen {
+
+struct DatasetSpec {
+  std::string name;
+  std::string description;
+  /// Scale factor multiplies the default transaction count.
+  tdb::Database (*generate)(std::size_t transactions, std::uint64_t seed);
+  std::size_t default_transactions;
+  std::uint64_t default_seed;
+};
+
+/// All registered datasets, in a stable order.
+const std::vector<DatasetSpec>& dataset_registry();
+
+/// Generates a registered dataset by name at its default size;
+/// throws std::out_of_range for unknown names.
+tdb::Database make_dataset(const std::string& name);
+
+/// Generates at a custom size/seed.
+tdb::Database make_dataset(const std::string& name, std::size_t transactions,
+                           std::uint64_t seed);
+
+}  // namespace plt::datagen

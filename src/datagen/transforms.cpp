@@ -1,0 +1,45 @@
+#include "datagen/transforms.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+
+tdb::Database add_twin_items(
+    const tdb::Database& db,
+    const std::vector<std::pair<Item, Item>>& twins) {
+  tdb::Database out;
+  out.reserve(db.size(), db.total_items() + db.size() * twins.size());
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto items = db[t];
+    row.assign(items.begin(), items.end());
+    for (const auto& [item, twin] : twins) {
+      PLT_ASSERT(item != twin, "an item cannot twin itself");
+      const bool has_item = std::binary_search(items.begin(), items.end(),
+                                               item);
+      if (has_item) {
+        row.push_back(twin);
+      } else {
+        row.erase(std::remove(row.begin(), row.end(), twin), row.end());
+      }
+    }
+    if (!row.empty()) out.add(row);
+  }
+  return out;
+}
+
+tdb::Database sample_transactions(const tdb::Database& db, double fraction,
+                                  std::uint64_t seed) {
+  PLT_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+             "sampling fraction must be in [0,1]");
+  Rng rng(seed);
+  tdb::Database out;
+  for (std::size_t t = 0; t < db.size(); ++t)
+    if (rng.next_bool(fraction)) out.add(db[t]);
+  return out;
+}
+
+}  // namespace plt::datagen

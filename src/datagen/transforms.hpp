@@ -1,0 +1,30 @@
+// Dataset transforms applied after generation:
+//   * add_twin_items — plant perfectly co-occurring item pairs (the
+//     structure that makes real census-style data like mushroom condense
+//     hard under closed-itemset mining: a twin never changes any support,
+//     so closures collapse onto their generators).
+//   * sample_transactions — uniform transaction sampling (Toivonen-style
+//     sample-and-verify experiments).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tdb/database.hpp"
+
+namespace plt::datagen {
+
+/// Returns a database where, for every pair (item, twin), `twin` is added
+/// to each transaction containing `item` (and removed from those that do
+/// not contain it). Twin ids may be fresh or existing items.
+tdb::Database add_twin_items(
+    const tdb::Database& db,
+    const std::vector<std::pair<Item, Item>>& twins);
+
+/// Uniformly samples each transaction with probability `fraction`.
+/// Deterministic in (db, fraction, seed).
+tdb::Database sample_transactions(const tdb::Database& db, double fraction,
+                                  std::uint64_t seed);
+
+}  // namespace plt::datagen

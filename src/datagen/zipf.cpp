@@ -1,0 +1,47 @@
+#include "datagen/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace plt::datagen {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  PLT_ASSERT(n >= 1, "zipf: empty support");
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r), exponent);
+    cumulative_[r - 1] = acc;
+  }
+  for (double& c : cumulative_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+tdb::Database generate_zipf(const ZipfConfig& cfg) {
+  Rng rng(cfg.seed);
+  ZipfSampler sampler(cfg.items, cfg.exponent);
+  tdb::Database db;
+  db.reserve(cfg.transactions,
+             static_cast<std::size_t>(static_cast<double>(cfg.transactions) *
+                                      cfg.avg_transaction_len));
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < cfg.transactions; ++t) {
+    const auto len = std::max<std::uint64_t>(
+        1, rng.next_poisson(cfg.avg_transaction_len));
+    row.clear();
+    for (std::uint64_t k = 0; k < len; ++k)
+      row.push_back(static_cast<Item>(sampler.sample(rng)));
+    db.add(row);
+  }
+  return db;
+}
+
+}  // namespace plt::datagen

@@ -1,0 +1,38 @@
+// Zipf-skewed independent-item generator: each transaction samples items
+// i.i.d. from a Zipf(s) law over the alphabet. Models sparse web/retail data
+// with heavy-tailed item popularity but no planted correlations — the
+// adversarial case for pattern-growth structures (paper §3's "sparse data"
+// discussion).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tdb/database.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+
+struct ZipfConfig {
+  std::size_t transactions = 10000;
+  std::size_t items = 2000;
+  double exponent = 1.1;            ///< Zipf exponent s
+  double avg_transaction_len = 8.0; ///< Poisson mean
+  std::uint64_t seed = 1;
+};
+
+tdb::Database generate_zipf(const ZipfConfig& config);
+
+/// Samples from Zipf(s) over ranks 1..n via inverse-CDF on a precomputed
+/// cumulative table. Exposed for reuse by the click-stream generator.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  /// Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace plt::datagen

@@ -1,0 +1,33 @@
+#include "harness/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "harness/experiment.hpp"
+
+namespace plt::harness {
+
+tdb::Database scaled_dataset(const std::string& name, double scale) {
+  for (const auto& spec : datagen::dataset_registry()) {
+    if (spec.name != name) continue;
+    const auto transactions = std::max<std::size_t>(
+        100, static_cast<std::size_t>(
+                 std::llround(static_cast<double>(spec.default_transactions) *
+                              scale)));
+    return spec.generate(transactions, spec.default_seed);
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+std::vector<Count> support_grid(const tdb::Database& db,
+                                const std::vector<double>& fractions) {
+  std::vector<Count> grid;
+  grid.reserve(fractions.size());
+  for (const double f : fractions) grid.push_back(absolute_support(db, f));
+  std::sort(grid.begin(), grid.end(), std::greater<>());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+}  // namespace plt::harness

@@ -1,0 +1,22 @@
+// Experiment-facing dataset helpers: generate a registered dataset (scaled
+// for the bench budget) and derive sensible absolute-support grids from
+// relative fractions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/registry.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::harness {
+
+/// Generates the named dataset scaled by `scale` (1.0 = registry default).
+tdb::Database scaled_dataset(const std::string& name, double scale = 1.0);
+
+/// Converts relative supports to an absolute grid for `db`, deduplicated
+/// and sorted descending (high support first, the conventional sweep order).
+std::vector<Count> support_grid(const tdb::Database& db,
+                                const std::vector<double>& fractions);
+
+}  // namespace plt::harness

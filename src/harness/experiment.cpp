@@ -1,0 +1,60 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/topdown.hpp"
+
+namespace plt::harness {
+
+Count absolute_support(const tdb::Database& db, double fraction) {
+  const double raw = fraction * static_cast<double>(db.size());
+  return std::max<Count>(1, static_cast<Count>(std::ceil(raw)));
+}
+
+std::vector<Cell> run_sweep(const SweepConfig& config) {
+  PLT_ASSERT(config.db != nullptr, "sweep needs a database");
+  std::vector<Cell> cells;
+  for (const Count support : config.supports) {
+    std::optional<core::FrequentItemsets> reference;
+    core::Algorithm reference_algorithm{};
+    for (const core::Algorithm algorithm : config.algorithms) {
+      Cell cell;
+      cell.dataset = config.dataset_name;
+      cell.min_support = support;
+      cell.algorithm = algorithm;
+      try {
+        core::MineResult mined =
+            core::mine(*config.db, support, algorithm, config.mine_options);
+        cell.build_seconds = mined.build_seconds;
+        cell.mine_seconds = mined.mine_seconds;
+        cell.total_seconds = mined.build_seconds + mined.mine_seconds;
+        cell.structure_bytes = mined.structure_bytes;
+        cell.frequent_itemsets = mined.itemsets.size();
+        cell.max_length = mined.itemsets.max_length();
+        if (config.cross_check) {
+          if (!reference) {
+            reference = mined.itemsets;
+            reference_algorithm = algorithm;
+          } else if (!core::FrequentItemsets::equal(*reference,
+                                                    mined.itemsets)) {
+            throw std::runtime_error(
+                std::string("cross-check failed: ") +
+                core::algorithm_name(algorithm) + " disagrees with " +
+                core::algorithm_name(reference_algorithm) + " on " +
+                config.dataset_name + " at support " +
+                std::to_string(support));
+          }
+        }
+      } catch (const core::TopDownOverflow& overflow) {
+        cell.failed = true;
+        cell.failure_reason = overflow.what();
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+}  // namespace plt::harness

@@ -1,0 +1,47 @@
+// Experiment driver shared by the bench binaries: runs a set of algorithms
+// over a dataset × minimum-support grid and collects one row per cell
+// (runtime, structure size, peak RSS, result counts), cross-checking that
+// all algorithms in a cell agree exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::harness {
+
+struct Cell {
+  std::string dataset;
+  Count min_support = 0;
+  core::Algorithm algorithm{};
+  double build_seconds = 0.0;
+  double mine_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::size_t structure_bytes = 0;
+  std::size_t frequent_itemsets = 0;
+  std::size_t max_length = 0;
+  bool failed = false;          ///< guard trip (e.g. top-down overflow)
+  std::string failure_reason;
+};
+
+struct SweepConfig {
+  std::string dataset_name;
+  const tdb::Database* db = nullptr;  ///< must outlive the sweep
+  std::vector<Count> supports;        ///< absolute minimum supports
+  std::vector<core::Algorithm> algorithms;
+  core::MineOptions mine_options;
+  /// Verify that every algorithm in a cell produces identical itemsets.
+  bool cross_check = true;
+};
+
+/// Runs the sweep; rows are ordered (support, algorithm).
+/// Throws std::runtime_error if cross-checking finds a disagreement.
+std::vector<Cell> run_sweep(const SweepConfig& config);
+
+/// Converts a relative support (fraction of |D|) to an absolute count >= 1.
+Count absolute_support(const tdb::Database& db, double fraction);
+
+}  // namespace plt::harness

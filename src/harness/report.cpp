@@ -1,0 +1,55 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/memory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace plt::harness {
+
+void print_banner(std::ostream& os, const std::string& experiment_id,
+                  const std::string& title, const std::string& paper_anchor) {
+  os << '\n'
+     << "==== " << experiment_id << ": " << title << " ====\n"
+     << "     paper anchor: " << paper_anchor << '\n';
+}
+
+void print_sweep(std::ostream& os, const std::string& title,
+                 const std::vector<Cell>& cells, bool csv) {
+  os << "-- " << title << " --\n";
+  Table table({"dataset", "minsup", "algorithm", "build", "mine", "total",
+               "structure", "frequent", "maxlen", "status"});
+  for (const Cell& cell : cells) {
+    table.add_row({cell.dataset, std::to_string(cell.min_support),
+                   core::algorithm_name(cell.algorithm),
+                   format_duration(cell.build_seconds),
+                   format_duration(cell.mine_seconds),
+                   format_duration(cell.total_seconds),
+                   format_bytes(cell.structure_bytes),
+                   std::to_string(cell.frequent_itemsets),
+                   std::to_string(cell.max_length),
+                   cell.failed ? "GUARD" : "ok"});
+  }
+  os << table.to_text();
+  if (csv) os << "\ncsv:\n" << table.to_csv();
+}
+
+void print_winners(std::ostream& os, const std::vector<Cell>& cells) {
+  std::map<Count, const Cell*> best;
+  for (const Cell& cell : cells) {
+    if (cell.failed) continue;
+    auto& slot = best[cell.min_support];
+    if (!slot || cell.total_seconds < slot->total_seconds) slot = &cell;
+  }
+  os << "winners by total time:\n";
+  for (const auto& [support, cell] : best) {
+    os << "  minsup " << support << ": "
+       << core::algorithm_name(cell->algorithm) << " ("
+       << format_duration(cell->total_seconds) << ")\n";
+  }
+}
+
+}  // namespace plt::harness

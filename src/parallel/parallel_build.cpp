@@ -1,0 +1,65 @@
+#include "parallel/parallel_build.hpp"
+
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace plt::parallel {
+
+void merge_plt(core::Plt& target, const core::Plt& source) {
+  PLT_ASSERT(target.max_rank() == source.max_rank(),
+             "cannot merge PLTs over different alphabets");
+  source.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                      const core::Partition::Entry& e) {
+    if (e.freq > 0) target.add(v, e.freq);
+  });
+}
+
+core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
+                             const BuildOptions& options) {
+  PLT_ASSERT(options.threads >= 1, "need at least one worker");
+  const std::size_t chunks =
+      std::min<std::size_t>(options.threads, std::max<std::size_t>(
+                                                 1, ranked_db.size()));
+  if (chunks <= 1) return core::build_plt(ranked_db, max_rank, options.build);
+
+  // Chunk boundaries over the transaction index space.
+  const std::size_t per_chunk = (ranked_db.size() + chunks - 1) / chunks;
+  ThreadPool pool(options.threads);
+  std::vector<std::future<core::Plt>> futures;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(ranked_db.size(), begin + per_chunk);
+    if (begin >= end) break;
+    futures.push_back(pool.submit([&, begin, end] {
+      core::Plt local(max_rank);
+      core::PosVec v;
+      for (std::size_t t = begin; t < end; ++t) {
+        const auto ranks = ranked_db[t];
+        if (ranks.empty()) continue;
+        v.clear();
+        Rank prev = 0;
+        for (const Rank r : ranks) {
+          v.push_back(r - prev);
+          prev = r;
+        }
+        local.add(v, 1);
+        if (options.build.insert_prefixes) {
+          for (std::size_t m = v.size() - 1; m >= 1; --m)
+            local.add(std::span<const Pos>(v.data(), m), 1);
+        }
+      }
+      return local;
+    }));
+  }
+
+  core::Plt merged = futures.front().get();
+  for (std::size_t f = 1; f < futures.size(); ++f) {
+    const core::Plt local = futures[f].get();
+    merge_plt(merged, local);
+  }
+  return merged;
+}
+
+}  // namespace plt::parallel

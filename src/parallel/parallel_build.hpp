@@ -1,0 +1,26 @@
+// Parallel PLT construction: the database is split into chunks, each worker
+// builds a local PLT (Algorithm 1 is a pure aggregation, so chunk PLTs
+// merge by frequency addition). Complements the partition miner: build-side
+// parallelism for the paper's "large databases" setting.
+#pragma once
+
+#include "core/builder.hpp"
+
+namespace plt::parallel {
+
+struct BuildOptions {
+  std::size_t threads = 2;
+  core::BuildOptions build;  ///< e.g. insert_prefixes
+};
+
+/// Builds the PLT of a ranked database (items = ranks 1..max_rank) using a
+/// thread pool; result is identical to the sequential build_plt (tests
+/// enforce it).
+core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
+                             const BuildOptions& options = {});
+
+/// Merges `source` into `target` (frequency addition). Both must share the
+/// same max_rank.
+void merge_plt(core::Plt& target, const core::Plt& source);
+
+}  // namespace plt::parallel

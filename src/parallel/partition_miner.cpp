@@ -1,0 +1,81 @@
+#include "parallel/partition_miner.hpp"
+
+#include <mutex>
+
+#include "core/builder.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace plt::parallel {
+
+core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
+                               const ParallelOptions& options) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  PLT_ASSERT(options.threads >= 1, "need at least one thread");
+  core::MineResult result;
+
+  Timer build_timer;
+  const core::RankedView view =
+      core::build_ranked_view(db, min_support, options.item_order);
+  const auto max_rank = static_cast<Rank>(view.alphabet());
+  if (max_rank == 0) return result;
+
+  // One shared pass: every transaction [r1..rk] sends its prefix
+  // [r1..r_{i-1}] to partition CD_{r_i}. Prefixes are position vectors
+  // already, so each CD_j is collected directly as a per-rank PLT.
+  std::vector<core::Plt> partitions;
+  partitions.reserve(max_rank);
+  for (Rank j = 1; j <= max_rank; ++j)
+    partitions.emplace_back(std::max<Rank>(1, j - 1));
+
+  core::PosVec v;
+  for (std::size_t t = 0; t < view.db.size(); ++t) {
+    const auto ranks = view.db[t];
+    v.clear();
+    Rank prev = 0;
+    for (const Rank r : ranks) {
+      v.push_back(r - prev);
+      prev = r;
+    }
+    for (std::size_t i = ranks.size(); i-- > 1;) {
+      // Prefix of length i goes to CD of rank ranks[i].
+      partitions[ranks[i] - 1].add(std::span<const Pos>(v.data(), i), 1);
+    }
+  }
+  result.build_seconds = build_timer.seconds();
+  for (const auto& p : partitions) result.structure_bytes += p.memory_usage();
+
+  Timer mine_timer;
+  std::mutex merge_mutex;
+  {
+    ThreadPool pool(options.threads);
+    for (Rank j = 1; j <= max_rank; ++j) {
+      pool.submit([&, j] {
+        core::FrequentItemsets local;
+        const auto sink = core::collect_into(local);
+        // The 1-itemset {j} is frequent by construction of the view.
+        const Itemset single = core::ranks_to_items(
+            view, std::span<const Rank>(&j, 1));
+        sink(single, view.support_of(j));
+
+        core::Plt& cd = partitions[j - 1];
+        if (cd.num_vectors() > 0) {
+          std::vector<Item> item_of(cd.max_rank());
+          for (Rank r = 1; r <= cd.max_rank(); ++r)
+            item_of[r - 1] = view.item_of(r);
+          std::vector<Item> suffix = {view.item_of(j)};
+          core::mine_plt_conditional(cd, item_of, suffix, min_support, sink,
+                                     options.conditional);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t i = 0; i < local.size(); ++i)
+          result.itemsets.add(local.itemset(i), local.support(i));
+      });
+    }
+    pool.wait_idle();
+  }
+  result.mine_seconds = mine_timer.seconds();
+  return result;
+}
+
+}  // namespace plt::parallel

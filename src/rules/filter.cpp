@@ -1,0 +1,73 @@
+#include "rules/filter.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace plt::rules {
+
+double metric_value(const Rule& rule, RuleMetric metric) {
+  switch (metric) {
+    case RuleMetric::kSupport: return rule.metrics.support;
+    case RuleMetric::kConfidence: return rule.metrics.confidence;
+    case RuleMetric::kLift: return rule.metrics.lift;
+    case RuleMetric::kLeverage: return rule.metrics.leverage;
+  }
+  return 0.0;
+}
+
+std::vector<Rule> filter_by(std::vector<Rule> rules, RuleMetric metric,
+                            double threshold) {
+  rules.erase(std::remove_if(rules.begin(), rules.end(),
+                             [&](const Rule& rule) {
+                               return metric_value(rule, metric) < threshold;
+                             }),
+              rules.end());
+  return rules;
+}
+
+std::vector<Rule> top_k_by(std::vector<Rule> rules, RuleMetric metric,
+                           std::size_t k) {
+  std::sort(rules.begin(), rules.end(), [&](const Rule& a, const Rule& b) {
+    const double ma = metric_value(a, metric);
+    const double mb = metric_value(b, metric);
+    if (ma != mb) return ma > mb;
+    if (a.metrics.confidence != b.metrics.confidence)
+      return a.metrics.confidence > b.metrics.confidence;
+    if (a.metrics.support != b.metrics.support)
+      return a.metrics.support > b.metrics.support;
+    if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  });
+  if (rules.size() > k) rules.resize(k);
+  return rules;
+}
+
+std::vector<Rule> prune_redundant(const std::vector<Rule>& rules,
+                                  double epsilon) {
+  // Group by consequent; within a group, a rule is redundant if a rule
+  // with a strict-subset antecedent has confidence >= its own - epsilon.
+  std::map<Itemset, std::vector<const Rule*>> by_consequent;
+  for (const Rule& rule : rules) by_consequent[rule.consequent].push_back(&rule);
+
+  std::vector<Rule> kept;
+  kept.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    bool redundant = false;
+    for (const Rule* other : by_consequent[rule.consequent]) {
+      if (other == &rule) continue;
+      if (other->antecedent.size() >= rule.antecedent.size()) continue;
+      if (!std::includes(rule.antecedent.begin(), rule.antecedent.end(),
+                         other->antecedent.begin(),
+                         other->antecedent.end()))
+        continue;
+      if (other->metrics.confidence + epsilon >= rule.metrics.confidence) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(rule);
+  }
+  return kept;
+}
+
+}  // namespace plt::rules

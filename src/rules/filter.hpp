@@ -1,0 +1,30 @@
+// Rule post-processing: metric thresholds, top-k selection, and redundancy
+// pruning. A rule X => Y is redundant when a simpler rule X' => Y with
+// X' ⊂ X reaches at least the same confidence — the simpler rule carries
+// strictly more information per premise (Aggarwal & Yu's "simple rules").
+#pragma once
+
+#include "rules/generator.hpp"
+
+namespace plt::rules {
+
+enum class RuleMetric { kSupport, kConfidence, kLift, kLeverage };
+
+/// Value of one metric for ordering/filtering.
+double metric_value(const Rule& rule, RuleMetric metric);
+
+/// Rules whose chosen metric is >= threshold, order preserved.
+std::vector<Rule> filter_by(std::vector<Rule> rules, RuleMetric metric,
+                            double threshold);
+
+/// The k best rules by the chosen metric, descending (ties broken by
+/// confidence then support for determinism).
+std::vector<Rule> top_k_by(std::vector<Rule> rules, RuleMetric metric,
+                           std::size_t k);
+
+/// Removes redundant rules: X => Y is dropped when some kept rule X' => Y
+/// has X' ⊂ X and confidence >= conf(X => Y) - epsilon.
+std::vector<Rule> prune_redundant(const std::vector<Rule>& rules,
+                                  double epsilon = 1e-9);
+
+}  // namespace plt::rules

@@ -1,0 +1,40 @@
+// Association-rule generation — step 2 of the problem the paper defines in
+// §2. Implements ap-genrules (Agrawal & Srikant [2]): for each frequent
+// itemset, grow consequents level-wise; confidence is anti-monotone in the
+// consequent, so failing consequents prune all of their supersets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/itemset_collector.hpp"
+#include "rules/metrics.hpp"
+
+namespace plt::rules {
+
+struct Rule {
+  Itemset antecedent;  ///< X (sorted)
+  Itemset consequent;  ///< Y (sorted), disjoint from X
+  Count union_support = 0;
+  Metrics metrics;
+};
+
+/// "{1,2} => {3} (sup=0.10 conf=0.85 lift=2.1)"
+std::string to_string(const Rule& rule);
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+  /// Upper bound on generated rules (0 = unlimited) — guards exponential
+  /// blowups on dense data.
+  std::size_t max_rules = 0;
+};
+
+/// Generates every rule X => Y with confidence >= min_confidence from the
+/// mined frequent itemsets. `frequent` must be support-complete: every
+/// subset of a frequent itemset must itself be present (true for the output
+/// of every miner in this repo). `transactions` = |D| for the metrics.
+std::vector<Rule> generate_rules(const core::FrequentItemsets& frequent,
+                                 Count transactions,
+                                 const RuleOptions& options = {});
+
+}  // namespace plt::rules

@@ -1,0 +1,30 @@
+#include "rules/metrics.hpp"
+
+#include <limits>
+
+namespace plt::rules {
+
+Metrics compute_metrics(Count union_support, Count antecedent_support,
+                        Count consequent_support, Count transactions) {
+  PLT_ASSERT(transactions > 0, "metrics need a non-empty database");
+  PLT_ASSERT(antecedent_support >= union_support &&
+                 consequent_support >= union_support,
+             "marginal supports cannot be below the union support");
+  const auto n = static_cast<double>(transactions);
+  Metrics m;
+  m.support = static_cast<double>(union_support) / n;
+  const double px = static_cast<double>(antecedent_support) / n;
+  const double py = static_cast<double>(consequent_support) / n;
+  m.confidence = antecedent_support == 0
+                     ? 0.0
+                     : static_cast<double>(union_support) /
+                           static_cast<double>(antecedent_support);
+  m.lift = py == 0.0 ? 0.0 : m.confidence / py;
+  m.leverage = m.support - px * py;
+  m.conviction = m.confidence >= 1.0
+                     ? std::numeric_limits<double>::infinity()
+                     : (1.0 - py) / (1.0 - m.confidence);
+  return m;
+}
+
+}  // namespace plt::rules

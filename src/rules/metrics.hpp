@@ -1,0 +1,23 @@
+// Rule interestingness metrics (paper §2 defines support and confidence;
+// lift, leverage and conviction are the standard companions used when
+// ranking the generated rules in the examples).
+#pragma once
+
+#include "util/common.hpp"
+
+namespace plt::rules {
+
+struct Metrics {
+  double support = 0.0;     ///< P(X ∪ Y)
+  double confidence = 0.0;  ///< P(Y | X)
+  double lift = 0.0;        ///< confidence / P(Y)
+  double leverage = 0.0;    ///< P(X∪Y) − P(X)·P(Y)
+  double conviction = 0.0;  ///< (1 − P(Y)) / (1 − confidence); inf capped
+};
+
+/// Computes all metrics from absolute counts.
+/// `transactions` is |D|; the three counts are absolute supports.
+Metrics compute_metrics(Count union_support, Count antecedent_support,
+                        Count consequent_support, Count transactions);
+
+}  // namespace plt::rules

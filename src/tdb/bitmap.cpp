@@ -1,0 +1,36 @@
+#include "tdb/bitmap.hpp"
+
+namespace plt::tdb {
+
+BitmapView::BitmapView(const Database& db)
+    : transactions_(db.size()),
+      alphabet_(db.max_item()),
+      words_(alphabet_ / 64 + 1) {
+  bits_.assign(transactions_ * words_, 0);
+  for (std::size_t t = 0; t < db.size(); ++t)
+    for (const Item item : db[t])
+      bits_[t * words_ + word(item)] |= 1ull << bit(item);
+}
+
+bool BitmapView::contains_all(std::size_t transaction,
+                              std::span<const Item> items) const {
+  const auto r = row(transaction);
+  for (const Item item : items) {
+    if (item > alphabet_) return false;
+    if (((r[word(item)] >> bit(item)) & 1u) == 0) return false;
+  }
+  return true;
+}
+
+Count BitmapView::support_of(std::span<const Item> items) const {
+  Count total = 0;
+  for (std::size_t t = 0; t < transactions_; ++t)
+    total += contains_all(t, items);
+  return total;
+}
+
+std::size_t BitmapView::memory_usage() const {
+  return bits_.capacity() * sizeof(std::uint64_t);
+}
+
+}  // namespace plt::tdb

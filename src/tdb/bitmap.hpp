@@ -1,0 +1,49 @@
+// Bitmap (dense bitset) transaction layout: one bit per (transaction,
+// item). The third representation in the paper's §3 layout taxonomy
+// discussion, used as a subset-check competitor in experiment E6 — fast
+// membership tests at O(alphabet/64) words per transaction, at the cost of
+// density-independent storage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tdb/database.hpp"
+
+namespace plt::tdb {
+
+class BitmapView {
+ public:
+  explicit BitmapView(const Database& db);
+
+  std::size_t transactions() const { return transactions_; }
+  std::size_t alphabet() const { return alphabet_; }
+
+  bool contains(std::size_t transaction, Item item) const {
+    if (item > alphabet_) return false;
+    return (row(transaction)[word(item)] >> bit(item)) & 1u;
+  }
+
+  /// True iff the sorted `items` are all present in the transaction.
+  bool contains_all(std::size_t transaction,
+                    std::span<const Item> items) const;
+
+  /// Number of transactions containing every item of the sorted query.
+  Count support_of(std::span<const Item> items) const;
+
+  std::size_t memory_usage() const;
+
+ private:
+  std::span<const std::uint64_t> row(std::size_t transaction) const {
+    return {bits_.data() + transaction * words_, words_};
+  }
+  static std::size_t word(Item item) { return item / 64; }
+  static unsigned bit(Item item) { return item % 64; }
+
+  std::size_t transactions_ = 0;
+  std::size_t alphabet_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace plt::tdb

@@ -1,0 +1,55 @@
+#include "tdb/database.hpp"
+
+#include <algorithm>
+
+namespace plt::tdb {
+
+Database Database::from_transactions(
+    const std::vector<std::vector<Item>>& transactions) {
+  Database db;
+  std::size_t items = 0;
+  for (const auto& t : transactions) items += t.size();
+  db.reserve(transactions.size(), items);
+  for (const auto& t : transactions) db.add(t);
+  return db;
+}
+
+Database Database::from_rows(
+    std::initializer_list<std::initializer_list<Item>> rows) {
+  Database db;
+  for (const auto& row : rows)
+    db.add(std::span<const Item>(row.begin(), row.size()));
+  return db;
+}
+
+void Database::add(std::span<const Item> items) {
+  const std::size_t start = items_.size();
+  items_.insert(items_.end(), items.begin(), items.end());
+  auto begin = items_.begin() + static_cast<std::ptrdiff_t>(start);
+  std::sort(begin, items_.end());
+  items_.erase(std::unique(begin, items_.end()), items_.end());
+  if (items_.size() > start) max_item_ = std::max(max_item_, items_.back());
+  offsets_.push_back(items_.size());
+}
+
+std::vector<Count> Database::item_supports() const {
+  std::vector<Count> counts(static_cast<std::size_t>(max_item_) + 1, 0);
+  for (const Item item : items_) counts[item] += 1;
+  return counts;
+}
+
+std::size_t Database::memory_usage() const {
+  return items_.capacity() * sizeof(Item) +
+         offsets_.capacity() * sizeof(std::uint64_t);
+}
+
+bool Database::operator==(const Database& other) const {
+  return items_ == other.items_ && offsets_ == other.offsets_;
+}
+
+void Database::reserve(std::size_t transactions, std::size_t items) {
+  offsets_.reserve(transactions + 1);
+  items_.reserve(items);
+}
+
+}  // namespace plt::tdb

@@ -1,0 +1,66 @@
+// Horizontal transactional database (the paper's D): a multiset of
+// transactions, each a sorted set of item ids. Stored as one flat item arena
+// plus per-transaction offsets — compact and sequential-scan friendly.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace plt::tdb {
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Builds from explicit transactions; each is sorted and deduplicated.
+  static Database from_transactions(
+      const std::vector<std::vector<Item>>& transactions);
+
+  /// Convenience for tests: rows of items, e.g. {{1,2,3},{2,3}}.
+  static Database from_rows(
+      std::initializer_list<std::initializer_list<Item>> rows);
+
+  /// Appends one transaction (sorted + deduplicated internally).
+  void add(std::span<const Item> items);
+  void add(std::initializer_list<Item> items) {
+    add(std::span<const Item>(items.begin(), items.size()));
+  }
+
+  std::size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// The i-th transaction as a sorted, deduplicated span.
+  std::span<const Item> operator[](std::size_t i) const {
+    return {items_.data() + offsets_[i],
+            static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  /// Total number of item occurrences across all transactions.
+  std::size_t total_items() const { return items_.size(); }
+
+  /// Largest item id present (0 when empty).
+  Item max_item() const { return max_item_; }
+
+  /// Support of each item: counts[i] = number of transactions containing i.
+  /// Vector has max_item()+1 entries.
+  std::vector<Count> item_supports() const;
+
+  /// Logical heap footprint in bytes.
+  std::size_t memory_usage() const;
+
+  /// Structural equality (same transactions in the same order).
+  bool operator==(const Database& other) const;
+
+  void reserve(std::size_t transactions, std::size_t items);
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::uint64_t> offsets_ = {0};
+  Item max_item_ = 0;
+};
+
+}  // namespace plt::tdb

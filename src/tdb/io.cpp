@@ -1,0 +1,71 @@
+#include "tdb/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace plt::tdb {
+
+Database read_fimi(std::istream& in) {
+  Database db;
+  std::string line;
+  std::vector<Item> row;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    row.clear();
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+        continue;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+        throw std::runtime_error("FIMI parse error at line " +
+                                 std::to_string(lineno) +
+                                 ": non-numeric token");
+      }
+      std::uint64_t value = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        if (value > 0xffffffffULL)
+          throw std::runtime_error("FIMI parse error at line " +
+                                   std::to_string(lineno) +
+                                   ": item id overflows 32 bits");
+        ++i;
+      }
+      row.push_back(static_cast<Item>(value));
+    }
+    if (!row.empty()) db.add(row);
+  }
+  return db;
+}
+
+Database read_fimi_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FIMI file: " + path);
+  return read_fimi(in);
+}
+
+void write_fimi(const Database& db, std::ostream& out) {
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto t = db[i];
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      if (j) out << ' ';
+      out << t[j];
+    }
+    out << '\n';
+  }
+}
+
+void write_fimi_file(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FIMI file: " + path);
+  write_fimi(db, out);
+}
+
+}  // namespace plt::tdb

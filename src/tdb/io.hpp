@@ -1,0 +1,23 @@
+// FIMI-format I/O: one transaction per line, space-separated item ids —
+// the interchange format of the FIMI'03 workshop the paper cites.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tdb/database.hpp"
+
+namespace plt::tdb {
+
+/// Parses a FIMI-format stream. Throws std::runtime_error on malformed
+/// input (non-numeric tokens, negative ids).
+Database read_fimi(std::istream& in);
+
+/// Loads a FIMI file from disk; throws std::runtime_error if unreadable.
+Database read_fimi_file(const std::string& path);
+
+/// Writes FIMI format.
+void write_fimi(const Database& db, std::ostream& out);
+void write_fimi_file(const Database& db, const std::string& path);
+
+}  // namespace plt::tdb

@@ -1,0 +1,71 @@
+#include "tdb/remap.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace plt::tdb {
+
+Remap build_remap(const Database& db, Count min_support, ItemOrder order) {
+  const auto supports = db.item_supports();
+
+  std::vector<Item> survivors;
+  for (Item i = 0; i < supports.size(); ++i)
+    if (supports[i] >= min_support && supports[i] > 0) survivors.push_back(i);
+
+  switch (order) {
+    case ItemOrder::kById:
+      break;  // already ascending by id
+    case ItemOrder::kByFreqAscending:
+      std::stable_sort(survivors.begin(), survivors.end(),
+                       [&](Item a, Item b) {
+                         if (supports[a] != supports[b])
+                           return supports[a] < supports[b];
+                         return a < b;
+                       });
+      break;
+    case ItemOrder::kByFreqDescending:
+      std::stable_sort(survivors.begin(), survivors.end(),
+                       [&](Item a, Item b) {
+                         if (supports[a] != supports[b])
+                           return supports[a] > supports[b];
+                         return a < b;
+                       });
+      break;
+  }
+
+  Remap remap;
+  remap.new_id.assign(supports.size(), 0);
+  remap.original.reserve(survivors.size());
+  remap.support.reserve(survivors.size());
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    const Item orig = survivors[k];
+    remap.new_id[orig] = static_cast<Item>(k + 1);
+    remap.original.push_back(orig);
+    remap.support.push_back(supports[orig]);
+  }
+  return remap;
+}
+
+Database apply_remap(const Database& db, const Remap& remap) {
+  Database out;
+  out.reserve(db.size(), db.total_items());
+  std::vector<Item> row;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    row.clear();
+    for (const Item item : db[i]) {
+      if (const auto mapped = remap.map(item)) row.push_back(*mapped);
+    }
+    if (!row.empty()) out.add(row);
+  }
+  return out;
+}
+
+Itemset unmap_itemset(const Remap& remap, const Itemset& mapped) {
+  Itemset out;
+  out.reserve(mapped.size());
+  for (const Item id : mapped) out.push_back(remap.unmap(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace plt::tdb

@@ -1,0 +1,57 @@
+// Item remapping: filter infrequent items and renumber the survivors.
+// This is the first scan of Algorithm 1 (and of every FIMI-era miner) made
+// reusable: all miners in this repo consume the same remapped view, so
+// comparisons are apples-to-apples.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tdb/database.hpp"
+
+namespace plt::tdb {
+
+/// How surviving items are ordered when assigned new contiguous ids 1..n.
+enum class ItemOrder {
+  kById,            ///< ascending original id (the paper's lexicographic order)
+  kByFreqAscending, ///< least frequent first (FP-growth-reversed convention)
+  kByFreqDescending ///< most frequent first
+};
+
+struct Remap {
+  /// new_id[original] = 1-based new id, or 0 if filtered out.
+  std::vector<Item> new_id;
+  /// original[new_id - 1] = original item id.
+  std::vector<Item> original;
+  /// support[new_id - 1] = support of that item in the source database.
+  std::vector<Count> support;
+
+  std::size_t alphabet_size() const { return original.size(); }
+
+  /// Maps an original id; returns nullopt if the item was filtered.
+  std::optional<Item> map(Item original_id) const {
+    if (original_id >= new_id.size() || new_id[original_id] == 0)
+      return std::nullopt;
+    return new_id[original_id];
+  }
+
+  Item unmap(Item mapped_id) const {
+    PLT_ASSERT(mapped_id >= 1 && mapped_id <= original.size(),
+               "unmap: id out of range");
+    return original[mapped_id - 1];
+  }
+};
+
+/// Computes the remap for `db` at absolute support `min_support`.
+Remap build_remap(const Database& db, Count min_support,
+                  ItemOrder order = ItemOrder::kById);
+
+/// Applies a remap: drops filtered items, renumbers, re-sorts transactions,
+/// and drops transactions that become empty.
+Database apply_remap(const Database& db, const Remap& remap);
+
+/// Translates a mined itemset (in remapped ids) back to original ids,
+/// sorted ascending.
+Itemset unmap_itemset(const Remap& remap, const Itemset& mapped);
+
+}  // namespace plt::tdb

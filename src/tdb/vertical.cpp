@@ -1,0 +1,44 @@
+#include "tdb/vertical.hpp"
+
+#include <algorithm>
+
+namespace plt::tdb {
+
+VerticalView::VerticalView(const Database& db) : transactions_(db.size()) {
+  const std::size_t alphabet = static_cast<std::size_t>(db.max_item()) + 1;
+  std::vector<std::uint64_t> counts(alphabet + 1, 0);
+  for (std::size_t t = 0; t < db.size(); ++t)
+    for (const Item item : db[t]) counts[item + 1] += 1;
+  offsets_.resize(alphabet + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 1; i <= alphabet; ++i)
+    offsets_[i] = offsets_[i - 1] + counts[i];
+  tids_.resize(offsets_[alphabet]);
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t t = 0; t < db.size(); ++t)
+    for (const Item item : db[t])
+      tids_[cursor[item]++] = static_cast<Tid>(t);
+}
+
+std::size_t VerticalView::memory_usage() const {
+  return tids_.capacity() * sizeof(Tid) +
+         offsets_.capacity() * sizeof(std::uint64_t);
+}
+
+std::vector<Tid> intersect(std::span<const Tid> a, std::span<const Tid> b) {
+  std::vector<Tid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<Tid> difference(std::span<const Tid> a, std::span<const Tid> b) {
+  std::vector<Tid> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace plt::tdb

@@ -1,0 +1,41 @@
+// Vertical layout (tidsets): each item mapped to the sorted list of
+// transaction ids containing it. Substrate for the Eclat/dEclat baselines
+// and for vertical-vs-horizontal comparisons (paper §3).
+#pragma once
+
+#include <vector>
+
+#include "tdb/database.hpp"
+
+namespace plt::tdb {
+
+class VerticalView {
+ public:
+  /// Builds tidsets for every item id in [0, db.max_item()].
+  explicit VerticalView(const Database& db);
+
+  /// Sorted transaction ids containing `item` (empty span if absent).
+  std::span<const Tid> tidset(Item item) const {
+    if (item >= offsets_.size() - 1) return {};
+    return {tids_.data() + offsets_[item],
+            static_cast<std::size_t>(offsets_[item + 1] - offsets_[item])};
+  }
+
+  Count support(Item item) const { return tidset(item).size(); }
+  std::size_t alphabet_size() const { return offsets_.size() - 1; }
+  std::size_t transactions() const { return transactions_; }
+  std::size_t memory_usage() const;
+
+ private:
+  std::vector<Tid> tids_;
+  std::vector<std::uint64_t> offsets_;
+  std::size_t transactions_ = 0;
+};
+
+/// Sorted-set intersection of two tidsets.
+std::vector<Tid> intersect(std::span<const Tid> a, std::span<const Tid> b);
+
+/// Sorted-set difference a \ b (for diffsets).
+std::vector<Tid> difference(std::span<const Tid> a, std::span<const Tid> b);
+
+}  // namespace plt::tdb

@@ -1,0 +1,37 @@
+// Common aliases and assertion macro used across libplt.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace plt {
+
+/// Item identifier as it appears in the input database (FIMI-style integer).
+using Item = std::uint32_t;
+/// 1-based rank assigned by a RankMap (Definition 4.1.1 in the paper).
+using Rank = std::uint32_t;
+/// A position value (gap between consecutive ranks); always >= 1.
+using Pos = std::uint32_t;
+/// Transaction / itemset occurrence count.
+using Count = std::uint64_t;
+/// Transaction identifier.
+using Tid = std::uint32_t;
+
+/// An itemset as a sorted vector of raw item ids.
+using Itemset = std::vector<Item>;
+
+}  // namespace plt
+
+// PLT_ASSERT is active in all build types: the library is the product, and
+// invariant violations must not silently corrupt mining results.
+#define PLT_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "PLT_ASSERT failed at %s:%d: %s\n  %s\n",      \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,46 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace plt {
+
+namespace {
+// Reads one "Vm*:   <kB> kB" line from /proc/self/status.
+std::uint64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t keylen = std::strlen(key);
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, key, keylen) == 0 && line[keylen] == ':') {
+      std::sscanf(line + keylen + 1, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM"); }
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS"); }
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%lu B", bytes);
+  } else if (bytes < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", b / 1024.0);
+  } else if (bytes < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace plt

@@ -1,0 +1,34 @@
+// Process- and structure-level memory accounting for the benchmarks.
+//
+// Two complementary mechanisms:
+//   * peak_rss_bytes()/current_rss_bytes() read /proc/self/status — an
+//     OS-level upper bound that includes allocator slack.
+//   * Each major structure (PLT, FP-tree, candidate trie, tidsets) exposes a
+//     memory_usage() method computing its exact logical footprint; benches
+//     report both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace plt {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 if
+/// /proc is unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 if unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Formats a byte count as "12.3 MiB" etc.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Logical footprint of a std::vector's heap block.
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace plt

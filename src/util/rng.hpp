@@ -1,0 +1,67 @@
+// Deterministic, seedable PRNG kit: splitmix64 for seeding, xoshiro256** as
+// the workhorse generator, plus the distribution helpers the workload
+// generators need. Self-contained so that datasets are reproducible across
+// standard libraries (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace plt {
+
+/// splitmix64: used to expand one 64-bit seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p.
+  bool next_bool(double p);
+
+  /// Poisson-distributed value with the given mean (Knuth for small means,
+  /// PTRS rejection for large).
+  std::uint64_t next_poisson(double mean);
+
+  /// Exponential with the given mean.
+  double next_exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double next_normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// `jump()` — advance 2^128 steps; gives independent parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  // Cached second normal deviate from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace plt

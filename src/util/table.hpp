@@ -1,0 +1,54 @@
+// Column-aligned plain-text tables and CSV emission for benchmark reports.
+// Benches print the same rows/series the paper-style evaluation reports.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace plt {
+
+/// Accumulates rows of string cells, then renders either an aligned text
+/// table (for terminals) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({to_cell(values)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header underline.
+  std::string to_text() const;
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with trailing-zero trimming ("3.5", "0.001", "12").
+std::string format_number(double v);
+
+}  // namespace plt

@@ -1,0 +1,35 @@
+// Wall-clock timing helpers for the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace plt {
+
+/// Monotonic stopwatch. Started on construction; restart with reset().
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(seconds() * 1e6);
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration for human-readable reports, e.g. "1.23 s", "45.6 ms".
+std::string format_duration(double seconds);
+
+}  // namespace plt

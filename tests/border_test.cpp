@@ -1,0 +1,150 @@
+// Negative border and Toivonen sampling: border definition checked against
+// brute force, exactness of the sampled miner on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/border.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+// Brute-force negative border: minimal itemsets not in F (over subsets of
+// the universe up to maxlen+1).
+std::set<Itemset> border_brute(const FrequentItemsets& frequent,
+                               const std::vector<Item>& universe) {
+  std::set<Itemset> in_frequent;
+  std::size_t max_len = 0;
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    const auto z = frequent.itemset(i);
+    in_frequent.insert(Itemset(z.begin(), z.end()));
+    max_len = std::max(max_len, z.size());
+  }
+  std::set<Itemset> border;
+  // Enumerate all subsets of the universe up to max_len+1 (small tests).
+  const auto n = universe.size();
+  PLT_ASSERT(n <= 20, "brute border only for small universes");
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Itemset z;
+    for (std::size_t b = 0; b < n; ++b)
+      if (mask & (1u << b)) z.push_back(universe[b]);
+    if (z.size() > max_len + 1) continue;
+    if (in_frequent.count(z)) continue;
+    // minimal: every proper (k-1)-subset in F (or k == 1).
+    bool minimal = true;
+    for (std::size_t drop = 0; drop < z.size() && minimal; ++drop) {
+      if (z.size() == 1) break;
+      Itemset s;
+      for (std::size_t j = 0; j < z.size(); ++j)
+        if (j != drop) s.push_back(z[j]);
+      minimal = in_frequent.count(s) > 0;
+    }
+    if (minimal) border.insert(z);
+  }
+  return border;
+}
+
+TEST(NegativeBorder, PaperExample) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = mine(db, 2, Algorithm::kPltConditional);
+  std::vector<Item> universe{1, 2, 3, 4, 5, 6};
+  const auto border = negative_border(mined.itemsets, universe);
+  const std::set<Itemset> got(border.begin(), border.end());
+  // Infrequent minimal sets: {5}, {6} (items E, F) and {1,3,4} (ACD —
+  // its pair subsets AC, AD, CD are all frequent).
+  EXPECT_EQ(got, border_brute(mined.itemsets, universe));
+  EXPECT_TRUE(got.count(Itemset{5}));
+  EXPECT_TRUE(got.count(Itemset{6}));
+  EXPECT_TRUE(got.count(Itemset{1, 3, 4}));
+  EXPECT_FALSE(got.count(Itemset{1, 2, 3, 4}));  // not minimal (ACD below)
+}
+
+TEST(NegativeBorder, RandomizedAgainstBruteForce) {
+  Rng rng(91);
+  for (int trial = 0; trial < 10; ++trial) {
+    tdb::Database db;
+    std::vector<Item> row;
+    for (int t = 0; t < 60; ++t) {
+      row.clear();
+      for (Item i = 1; i <= 9; ++i)
+        if (rng.next_bool(0.35)) row.push_back(i);
+      if (row.empty()) row.push_back(1);
+      db.add(row);
+    }
+    const auto mined = mine(db, 4, Algorithm::kPltConditional);
+    std::vector<Item> universe;
+    const auto supports = db.item_supports();
+    for (Item i = 0; i < supports.size(); ++i)
+      if (supports[i] > 0) universe.push_back(i);
+    const auto border = negative_border(mined.itemsets, universe);
+    const std::set<Itemset> got(border.begin(), border.end());
+    EXPECT_EQ(got, border_brute(mined.itemsets, universe)) << trial;
+  }
+}
+
+TEST(NegativeBorder, EmptyFrequentSet) {
+  FrequentItemsets none;
+  const auto border = negative_border(none, {3, 7});
+  ASSERT_EQ(border.size(), 2u);  // every universe item is minimal-infrequent
+}
+
+TEST(Toivonen, ExactOnPaperExample) {
+  ToivonenOptions options;
+  options.sample_fraction = 0.5;
+  options.seed = 3;
+  const auto result =
+      mine_toivonen(plt::testing::paper_table1(), 2, options);
+  const auto reference =
+      mine(plt::testing::paper_table1(), 2, Algorithm::kPltConditional);
+  plt::testing::expect_same_itemsets(result.itemsets, reference.itemsets,
+                                     "toivonen table1");
+  EXPECT_GE(result.attempts, 1u);
+}
+
+class ToivonenSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Count>> {};
+
+TEST_P(ToivonenSweep, AlwaysExact) {
+  const auto [seed, minsup] = GetParam();
+  datagen::QuestConfig cfg;
+  cfg.transactions = 2000;
+  cfg.items = 50;
+  cfg.seed = seed;
+  const auto db = datagen::generate_quest(cfg);
+  ToivonenOptions options;
+  options.sample_fraction = 0.3;
+  options.seed = seed * 7 + 1;
+  const auto result = mine_toivonen(db, minsup, options);
+  const auto reference = mine(db, minsup, Algorithm::kPltConditional);
+  plt::testing::expect_same_itemsets(result.itemsets, reference.itemsets,
+                                     "toivonen sweep");
+  EXPECT_GT(result.candidates + (result.used_fallback ? 1 : 0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ToivonenSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<Count>(20, 60, 150)));
+
+TEST(Toivonen, TinySampleFallsBackButStaysExact) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 500;
+  cfg.items = 30;
+  cfg.seed = 8;
+  const auto db = datagen::generate_quest(cfg);
+  ToivonenOptions options;
+  options.sample_fraction = 0.02;  // almost certainly misses patterns
+  options.lowering = 1.0;          // no safety margin
+  options.max_retries = 1;
+  const auto result = mine_toivonen(db, 10, options);
+  const auto reference = mine(db, 10, Algorithm::kPltConditional);
+  plt::testing::expect_same_itemsets(result.itemsets, reference.itemsets,
+                                     "fallback");
+}
+
+}  // namespace
+}  // namespace plt::core

@@ -1,0 +1,106 @@
+// CHARM native closed-itemset mining: must equal the post-pass closure of
+// a complete mining result on every workload shape.
+#include <gtest/gtest.h>
+
+#include "baselines/charm.hpp"
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/transforms.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::baselines {
+namespace {
+
+core::FrequentItemsets closed_reference(const tdb::Database& db,
+                                        Count minsup) {
+  const auto mined = core::mine(db, minsup, core::Algorithm::kFpGrowth);
+  return core::closed_itemsets(mined.itemsets);
+}
+
+core::FrequentItemsets charm(const tdb::Database& db, Count minsup) {
+  core::FrequentItemsets out;
+  mine_charm(db, minsup, core::collect_into(out));
+  return out;
+}
+
+TEST(Charm, PaperExample) {
+  const auto db = plt::testing::paper_table1();
+  plt::testing::expect_same_itemsets(charm(db, 2), closed_reference(db, 2),
+                                     "charm table1");
+}
+
+TEST(Charm, TwinsCollapse) {
+  // Perfectly-correlated twins are the canonical closed-mining case: CHARM
+  // must fold them via its tidset-equality property.
+  datagen::QuestConfig cfg;
+  cfg.transactions = 200;
+  cfg.items = 15;
+  cfg.seed = 3;
+  auto db = datagen::generate_quest(cfg);
+  db = datagen::add_twin_items(db, {{1, 16}, {2, 17}});
+  plt::testing::expect_same_itemsets(charm(db, 4), closed_reference(db, 4),
+                                     "charm twins");
+}
+
+class CharmSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Count>> {};
+
+TEST_P(CharmSweep, MatchesPostPassClosure) {
+  const auto [seed, minsup] = GetParam();
+  Rng rng(seed);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (int t = 0; t < 150; ++t) {
+    row.clear();
+    for (Item i = 1; i <= 13; ++i)
+      if (rng.next_bool(0.35)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  plt::testing::expect_same_itemsets(charm(db, minsup),
+                                     closed_reference(db, minsup), "charm");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CharmSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4, 5),
+                       ::testing::Values<Count>(2, 5, 15, 40)));
+
+TEST(Charm, DenseWorkload) {
+  const auto db = datagen::generate_dense(datagen::mushroom_like(400, 9));
+  plt::testing::expect_same_itemsets(charm(db, 120),
+                                     closed_reference(db, 120),
+                                     "charm dense");
+}
+
+TEST(Charm, OutputIsSmallerThanFullMining) {
+  const auto db = datagen::generate_dense(datagen::chess_like(300, 5));
+  const Count minsup = 210;  // 70%
+  const auto full = core::mine(db, minsup, core::Algorithm::kFpGrowth);
+  const auto closed = charm(db, minsup);
+  EXPECT_LE(closed.size(), full.itemsets.size());
+  EXPECT_GT(closed.size(), 0u);
+}
+
+TEST(Charm, DegenerateInputs) {
+  tdb::Database empty;
+  EXPECT_TRUE(charm(empty, 1).empty());
+  const auto single = tdb::Database::from_rows({{3}, {3}});
+  const auto mined = charm(single, 2);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined.find_support(Itemset{3}), 2u);
+}
+
+TEST(Charm, StatsPopulated) {
+  BaselineStats stats;
+  core::FrequentItemsets out;
+  mine_charm(plt::testing::paper_table1(), 2, core::collect_into(out),
+             &stats);
+  EXPECT_GT(stats.structure_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace plt::baselines

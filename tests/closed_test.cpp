@@ -1,0 +1,137 @@
+// Closed/maximal itemset tests: definitions checked directly against
+// brute-force filters on randomized workloads, plus hand-checked cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+
+namespace plt::core {
+namespace {
+
+// Direct-from-definition filters (quadratic; tests only).
+FrequentItemsets closed_brute(const FrequentItemsets& frequent) {
+  FrequentItemsets out;
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    const auto z = frequent.itemset(i);
+    bool is_closed = true;
+    for (std::size_t j = 0; j < frequent.size() && is_closed; ++j) {
+      if (i == j) continue;
+      const auto s = frequent.itemset(j);
+      if (s.size() > z.size() &&
+          frequent.support(j) == frequent.support(i) &&
+          std::includes(s.begin(), s.end(), z.begin(), z.end()))
+        is_closed = false;
+    }
+    if (is_closed) out.add(z, frequent.support(i));
+  }
+  return out;
+}
+
+FrequentItemsets maximal_brute(const FrequentItemsets& frequent) {
+  FrequentItemsets out;
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    const auto z = frequent.itemset(i);
+    bool is_maximal = true;
+    for (std::size_t j = 0; j < frequent.size() && is_maximal; ++j) {
+      if (i == j) continue;
+      const auto s = frequent.itemset(j);
+      if (s.size() > z.size() &&
+          std::includes(s.begin(), s.end(), z.begin(), z.end()))
+        is_maximal = false;
+    }
+    if (is_maximal) out.add(z, frequent.support(i));
+  }
+  return out;
+}
+
+TEST(Closed, PaperExample) {
+  const auto mined =
+      mine(plt::testing::paper_table1(), 2, Algorithm::kPltConditional);
+  const auto closed = closed_itemsets(mined.itemsets);
+  // {A} sup 4 == {A,B} sup 4 -> {A} not closed. {B},{C} sup 5 are closed.
+  EXPECT_EQ(closed.find_support(Itemset{1}), 0u);
+  EXPECT_EQ(closed.find_support(Itemset{2}), 5u);
+  EXPECT_EQ(closed.find_support(Itemset{3}), 5u);
+  EXPECT_EQ(closed.find_support(Itemset{1, 2}), 4u);
+  plt::testing::expect_same_itemsets(closed, closed_brute(mined.itemsets),
+                                     "closed");
+}
+
+TEST(Maximal, PaperExample) {
+  const auto mined =
+      mine(plt::testing::paper_table1(), 2, Algorithm::kPltConditional);
+  const auto maximal = maximal_itemsets(mined.itemsets);
+  // Maximal at minsup 2: ABC, ABD, BCD (every smaller set extends).
+  EXPECT_EQ(maximal.size(), 3u);
+  EXPECT_EQ(maximal.find_support(Itemset{1, 2, 3}), 3u);
+  EXPECT_EQ(maximal.find_support(Itemset{1, 2, 4}), 2u);
+  EXPECT_EQ(maximal.find_support(Itemset{2, 3, 4}), 2u);
+  plt::testing::expect_same_itemsets(maximal,
+                                     maximal_brute(mined.itemsets),
+                                     "maximal");
+}
+
+class CondensedTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Count>> {};
+
+TEST_P(CondensedTest, MatchesDefinitionsAndInvariants) {
+  const auto [seed, minsup] = GetParam();
+  datagen::DenseConfig cfg;
+  cfg.transactions = 200;
+  cfg.items = 14;
+  cfg.density = 0.4;
+  cfg.classes = 3;
+  cfg.seed = seed;
+  const auto db = datagen::generate_dense(cfg);
+  const auto mined = mine(db, minsup, Algorithm::kFpGrowth);
+
+  const auto closed = closed_itemsets(mined.itemsets);
+  const auto maximal = maximal_itemsets(mined.itemsets);
+  plt::testing::expect_same_itemsets(closed, closed_brute(mined.itemsets),
+                                     "closed");
+  plt::testing::expect_same_itemsets(maximal,
+                                     maximal_brute(mined.itemsets),
+                                     "maximal");
+  EXPECT_EQ(check_condensed(mined.itemsets, closed, maximal), "");
+  // Condensation: maximal <= closed <= frequent.
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), mined.itemsets.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CondensedTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 4),
+                       ::testing::Values<Count>(3, 8, 20)));
+
+TEST(Condensed, CheckerDetectsViolations) {
+  const auto mined =
+      mine(plt::testing::paper_table1(), 2, Algorithm::kPltConditional);
+  const auto closed = closed_itemsets(mined.itemsets);
+  auto maximal = maximal_itemsets(mined.itemsets);
+  // Corrupt maximal: add a non-closed itemset.
+  maximal.add(Itemset{1}, 4);
+  EXPECT_NE(check_condensed(mined.itemsets, closed, maximal), "");
+}
+
+TEST(Condensed, SingletonsOnly) {
+  const auto db = tdb::Database::from_rows({{1}, {2}, {1}, {2}});
+  const auto mined = mine(db, 2, Algorithm::kPltConditional);
+  const auto closed = closed_itemsets(mined.itemsets);
+  const auto maximal = maximal_itemsets(mined.itemsets);
+  EXPECT_EQ(closed.size(), 2u);   // both singletons closed
+  EXPECT_EQ(maximal.size(), 2u);  // and maximal
+}
+
+TEST(Condensed, EmptyInput) {
+  FrequentItemsets none;
+  EXPECT_TRUE(closed_itemsets(none).empty());
+  EXPECT_TRUE(maximal_itemsets(none).empty());
+}
+
+}  // namespace
+}  // namespace plt::core

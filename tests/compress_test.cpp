@@ -1,0 +1,185 @@
+// Compression & serialization tests: varint round-trips and failure modes,
+// PLT codec round-trips, size accounting, and selective decode via the
+// blob index.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compress/codec.hpp"
+#include "compress/index.hpp"
+#include "compress/varint.hpp"
+#include "core/builder.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::compress {
+namespace {
+
+TEST(Varint, RoundTripBoundaryValues) {
+  const std::uint64_t values[] = {0,     1,    127,  128,   16383, 16384,
+                                  1u << 21,    0xffffffffULL,
+                                  0xffffffffffffffffULL};
+  for (const auto value : values) {
+    std::vector<std::uint8_t> buf;
+    put_varint(buf, value);
+    EXPECT_EQ(buf.size(), varint_size(value)) << value;
+    std::size_t offset = 0;
+    EXPECT_EQ(get_varint(buf, offset), value);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(Varint, RandomizedRoundTrip) {
+  Rng rng(81);
+  std::vector<std::uint8_t> buf;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_u64() >> (rng.next_below(64));
+    values.push_back(v);
+    put_varint(buf, v);
+  }
+  std::size_t offset = 0;
+  for (const auto v : values) EXPECT_EQ(get_varint(buf, offset), v);
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1u << 20);
+  buf.pop_back();
+  std::size_t offset = 0;
+  EXPECT_THROW(get_varint(buf, offset), std::runtime_error);
+}
+
+TEST(Varint, OverlongEncodingThrows) {
+  const std::vector<std::uint8_t> buf(11, 0x80);
+  std::size_t offset = 0;
+  EXPECT_THROW(get_varint(buf, offset), std::runtime_error);
+}
+
+core::Plt sample_plt() {
+  core::Plt plt(10);
+  plt.add(core::PosVec{1, 1, 1}, 5);
+  plt.add(core::PosVec{2, 3}, 2);
+  plt.add(core::PosVec{7}, 9);
+  plt.add(core::PosVec{1, 2, 3, 4}, 1);
+  return plt;
+}
+
+std::map<core::PosVec, Count> plt_contents(const core::Plt& plt) {
+  std::map<core::PosVec, Count> out;
+  plt.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                   const core::Partition::Entry& e) {
+    out[core::PosVec(v.begin(), v.end())] = e.freq;
+  });
+  return out;
+}
+
+TEST(Codec, RoundTripSmall) {
+  const auto plt = sample_plt();
+  const auto blob = encode_plt(plt);
+  EXPECT_EQ(blob.size(), encoded_size(plt));
+  const auto decoded = decode_plt(blob);
+  EXPECT_EQ(decoded.max_rank(), plt.max_rank());
+  EXPECT_EQ(plt_contents(decoded), plt_contents(plt));
+}
+
+TEST(Codec, RoundTripRealWorkload) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 1500;
+  cfg.items = 120;
+  cfg.seed = 5;
+  const auto db = datagen::generate_quest(cfg);
+  const auto built = core::build_from_database(db, 3);
+  const auto blob = encode_plt(built.plt);
+  const auto decoded = decode_plt(blob);
+  EXPECT_EQ(plt_contents(decoded), plt_contents(built.plt));
+  // The varint encoding must beat the in-memory footprint comfortably.
+  EXPECT_LT(blob.size(), built.plt.memory_usage());
+}
+
+TEST(Codec, BadMagicThrows) {
+  auto blob = encode_plt(sample_plt());
+  blob[0] = 'X';
+  EXPECT_THROW(decode_plt(blob), std::runtime_error);
+}
+
+TEST(Codec, TruncatedBlobThrows) {
+  auto blob = encode_plt(sample_plt());
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(decode_plt(blob), std::runtime_error);
+}
+
+TEST(Codec, CorruptPositionThrows) {
+  // Hand-build a blob with a zero position value.
+  std::vector<std::uint8_t> blob{'P', 'L', 'T', '1'};
+  put_varint(blob, 4);  // max_rank
+  put_varint(blob, 1);  // one partition
+  put_varint(blob, 1);  // length 1
+  put_varint(blob, 1);  // one entry
+  put_varint(blob, 0);  // invalid position 0
+  put_varint(blob, 1);  // freq
+  EXPECT_THROW(decode_plt(blob), std::runtime_error);
+}
+
+TEST(Codec, RawDatabaseBytes) {
+  const auto db = tdb::Database::from_rows({{1, 2, 3}, {4}});
+  EXPECT_EQ(raw_database_bytes(db), 4u * sizeof(Item) +
+                                        2u * sizeof(std::uint64_t));
+}
+
+TEST(Index, PartitionRangesAndSelectiveDecode) {
+  const auto plt = sample_plt();
+  const auto blob = encode_plt(plt);
+  const auto index = build_index(blob);
+  EXPECT_EQ(index.max_rank, 10u);
+  EXPECT_EQ(index.partitions.size(), 4u);  // lengths 1,2,3,4
+
+  std::map<core::PosVec, Count> got;
+  const auto visited = decode_partition(
+      blob, index, 3, [&](std::span<const Pos> v, Count freq) {
+        got[core::PosVec(v.begin(), v.end())] = freq;
+      });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_EQ(got.at(core::PosVec{1, 1, 1}), 5u);
+  EXPECT_EQ(decode_partition(blob, index, 7,
+                             [](std::span<const Pos>, Count) {}),
+            0u);
+}
+
+TEST(Index, BucketDecodeBySum) {
+  core::Plt plt(6);
+  plt.add(core::PosVec{1, 2}, 4);   // sum 3
+  plt.add(core::PosVec{3}, 7);      // sum 3
+  plt.add(core::PosVec{1, 1, 3}, 1);  // sum 5
+  const auto blob = encode_plt(plt);
+  const auto index = build_index(blob);
+
+  Count mass = 0;
+  const auto visited =
+      decode_bucket(blob, index, 3, [&](std::span<const Pos>, Count freq) {
+        mass += freq;
+      });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(mass, 11u);
+  EXPECT_EQ(decode_bucket(blob, index, 6,
+                          [](std::span<const Pos>, Count) {}),
+            0u);
+  EXPECT_EQ(decode_bucket(blob, index, 99,
+                          [](std::span<const Pos>, Count) {}),
+            0u);
+}
+
+TEST(Index, BadBlobThrows) {
+  std::vector<std::uint8_t> junk{'N', 'O', 'P', 'E', 0, 0};
+  EXPECT_THROW(build_index(junk), std::runtime_error);
+}
+
+TEST(Index, MemoryUsagePositive) {
+  const auto blob = encode_plt(sample_plt());
+  EXPECT_GT(build_index(blob).memory_usage(), 0u);
+}
+
+}  // namespace
+}  // namespace plt::compress

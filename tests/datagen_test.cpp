@@ -1,0 +1,151 @@
+// Tests for the workload generators: determinism, parameter effects, and
+// the statistical shapes that stand in for the FIMI benchmarks.
+#include <gtest/gtest.h>
+
+#include "datagen/clickstream.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/registry.hpp"
+#include "datagen/zipf.hpp"
+#include "tdb/stats.hpp"
+#include "util/rng.hpp"
+
+namespace plt::datagen {
+namespace {
+
+TEST(Quest, DeterministicForSameSeed) {
+  QuestConfig cfg;
+  cfg.transactions = 500;
+  cfg.seed = 99;
+  EXPECT_TRUE(generate_quest(cfg) == generate_quest(cfg));
+}
+
+TEST(Quest, DifferentSeedsDiffer) {
+  QuestConfig a, b;
+  a.transactions = b.transactions = 500;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_FALSE(generate_quest(a) == generate_quest(b));
+}
+
+TEST(Quest, AverageTransactionLengthTracksConfig) {
+  QuestConfig cfg;
+  cfg.transactions = 4000;
+  cfg.avg_transaction_len = 10.0;
+  cfg.seed = 5;
+  const auto stats = tdb::compute_stats(generate_quest(cfg));
+  EXPECT_NEAR(stats.avg_len, 10.0, 2.5);
+  EXPECT_EQ(stats.transactions, 4000u);
+}
+
+TEST(Quest, SparseCharacter) {
+  QuestConfig cfg;
+  cfg.transactions = 3000;
+  cfg.items = 870;
+  cfg.seed = 42;
+  const auto stats = tdb::compute_stats(generate_quest(cfg));
+  EXPECT_LT(stats.density, 0.05);       // sparse
+  EXPECT_GT(stats.support_gini, 0.3);   // skewed popularity
+}
+
+TEST(Quest, ItemIdsWithinUniverse) {
+  QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 50;
+  cfg.seed = 3;
+  const auto db = generate_quest(cfg);
+  EXPECT_LE(db.max_item(), 50u);
+  EXPECT_GE(db.max_item(), 1u);
+}
+
+TEST(Dense, DensityTracksConfig) {
+  DenseConfig cfg;
+  cfg.transactions = 1500;
+  cfg.items = 80;
+  cfg.density = 0.4;
+  cfg.seed = 4;
+  const auto stats = tdb::compute_stats(generate_dense(cfg));
+  EXPECT_NEAR(stats.density, 0.4, 0.08);
+}
+
+TEST(Dense, ChessLikePresetShape) {
+  const auto db = generate_dense(chess_like(800));
+  const auto stats = tdb::compute_stats(db);
+  EXPECT_LE(stats.distinct_items, 75u);
+  EXPECT_GT(stats.density, 0.35);  // chess is ~0.49 dense
+  EXPECT_EQ(stats.transactions, 800u);
+}
+
+TEST(Dense, MushroomLikePresetShape) {
+  const auto db = generate_dense(mushroom_like(800));
+  const auto stats = tdb::compute_stats(db);
+  EXPECT_LE(stats.distinct_items, 119u);
+  EXPECT_NEAR(stats.density, 0.19, 0.07);
+}
+
+TEST(Dense, Deterministic) {
+  const auto cfg = chess_like(300, 123);
+  EXPECT_TRUE(generate_dense(cfg) == generate_dense(cfg));
+}
+
+TEST(Zipf, SamplerRespectsSupportAndSkew) {
+  ZipfSampler sampler(100, 1.2);
+  Rng rng(6);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = sampler.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+    counts[r]++;
+  }
+  // Rank 1 must dominate rank 10 roughly by 10^1.2.
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(Zipf, GeneratorShape) {
+  ZipfConfig cfg;
+  cfg.transactions = 2000;
+  cfg.items = 500;
+  cfg.seed = 8;
+  const auto stats = tdb::compute_stats(generate_zipf(cfg));
+  EXPECT_EQ(stats.transactions, 2000u);
+  EXPECT_GT(stats.support_gini, 0.5);  // heavy-tailed
+}
+
+TEST(Clickstream, SessionsAreBoundedAndDeterministic) {
+  ClickstreamConfig cfg;
+  cfg.sessions = 800;
+  cfg.seed = 10;
+  const auto db = generate_clickstream(cfg);
+  EXPECT_EQ(db.size(), 800u);
+  const auto stats = tdb::compute_stats(db);
+  EXPECT_LE(stats.max_len, cfg.max_session_len);
+  EXPECT_TRUE(db == generate_clickstream(cfg));
+}
+
+TEST(Registry, AllDatasetsGenerate) {
+  for (const auto& spec : dataset_registry()) {
+    const auto db = spec.generate(200, 1);
+    EXPECT_GT(db.size(), 0u) << spec.name;
+    EXPECT_FALSE(spec.description.empty()) << spec.name;
+  }
+}
+
+TEST(Registry, NamedLookupAndUnknownName) {
+  const auto db = make_dataset("short-dense", 150, 2);
+  EXPECT_GT(db.size(), 100u);
+  EXPECT_THROW(make_dataset("no-such-dataset"), std::out_of_range);
+}
+
+TEST(Registry, StableNames) {
+  // EXPERIMENTS.md refers to these names; renaming them breaks the docs.
+  std::vector<std::string> names;
+  for (const auto& spec : dataset_registry()) names.push_back(spec.name);
+  const std::vector<std::string> expected{
+      "quest-sparse", "quest-wide",  "chess-like", "mushroom-like",
+      "zipf-sparse",  "clickstream", "short-dense"};
+  EXPECT_EQ(names, expected);
+}
+
+}  // namespace
+}  // namespace plt::datagen

@@ -1,0 +1,157 @@
+// Cross-module differential tests: independent implementations of the same
+// semantics are driven with shared random inputs and must coincide —
+// table-form vs tree-form vs serialized-form PLT, four support-query
+// implementations, and the three condensed-mining routes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/charm.hpp"
+#include "baselines/maxminer.hpp"
+#include "compress/codec.hpp"
+#include "core/builder.hpp"
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "core/subset_check.hpp"
+#include "core/tree_view.hpp"
+#include "datagen/quest.hpp"
+#include "tdb/bitmap.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt {
+namespace {
+
+std::map<core::PosVec, Count> contents(const core::Plt& plt) {
+  std::map<core::PosVec, Count> out;
+  plt.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                   const core::Partition::Entry& e) {
+    out[core::PosVec(v.begin(), v.end())] = e.freq;
+  });
+  return out;
+}
+
+tdb::Database random_db(std::uint64_t seed, std::size_t transactions,
+                        std::size_t items, double density) {
+  Rng rng(seed);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < transactions; ++t) {
+    row.clear();
+    for (Item i = 1; i <= items; ++i)
+      if (rng.next_bool(density)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  return db;
+}
+
+// PLT -> tree -> PLT and PLT -> blob -> PLT must all be the identity.
+TEST(Differential, ThreeFormsOfThePltCoincide) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto db = random_db(seed, 120, 15, 0.3);
+    const auto built = core::build_from_database(db, 2);
+    const auto reference = contents(built.plt);
+
+    const auto via_tree = core::TreeView::from_plt(built.plt)
+                              .to_plt(built.plt.max_rank());
+    EXPECT_EQ(contents(via_tree), reference) << "tree seed " << seed;
+
+    const auto via_blob =
+        compress::decode_plt(compress::encode_plt(built.plt));
+    EXPECT_EQ(contents(via_blob), reference) << "blob seed " << seed;
+  }
+}
+
+// Four independent support-query implementations on shared random queries.
+TEST(Differential, FourSupportQueryImplementationsAgree) {
+  Rng rng(301);
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const auto db = random_db(seed, 250, 16, 0.3);
+    const auto view = core::build_ranked_view(db, 1);
+    const auto plt =
+        core::build_plt(view.db, static_cast<Rank>(view.alphabet()));
+    const tdb::BitmapView bitmap(view.db);
+
+    for (int trial = 0; trial < 120; ++trial) {
+      std::vector<Rank> query;
+      Rank r = 0;
+      const auto len = 1 + rng.next_below(4);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        r += static_cast<Rank>(rng.next_below(5) + 1);
+        if (r > view.alphabet()) break;
+        query.push_back(r);
+      }
+      if (query.empty()) continue;
+
+      const Count via_plt = core::support_of(plt, query);
+      const Count via_scan = core::support_of_scan(view.db, query);
+      const Count via_bitmap = bitmap.support_of(
+          std::span<const Item>(query.data(), query.size()));
+      // Brute force over rows.
+      Count via_brute = 0;
+      for (std::size_t t = 0; t < view.db.size(); ++t) {
+        const auto row = view.db[t];
+        via_brute += std::includes(row.begin(), row.end(), query.begin(),
+                                   query.end());
+      }
+      EXPECT_EQ(via_plt, via_brute);
+      EXPECT_EQ(via_scan, via_brute);
+      EXPECT_EQ(via_bitmap, via_brute);
+    }
+  }
+}
+
+// The three condensed-mining routes: post-pass, CHARM, MaxMiner.
+TEST(Differential, CondensedRoutesCoincide) {
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    const auto db = random_db(seed, 160, 12, 0.4);
+    for (const Count minsup : {3u, 12u, 40u}) {
+      const auto full = core::mine(db, minsup, core::Algorithm::kFpGrowth);
+
+      core::FrequentItemsets via_charm;
+      baselines::mine_charm(db, minsup, core::collect_into(via_charm));
+      plt::testing::expect_same_itemsets(
+          via_charm, core::closed_itemsets(full.itemsets), "closed routes");
+
+      core::FrequentItemsets via_maxminer;
+      baselines::mine_maxminer(db, minsup,
+                               core::collect_into(via_maxminer));
+      plt::testing::expect_same_itemsets(
+          via_maxminer, core::maximal_itemsets(full.itemsets),
+          "maximal routes");
+    }
+  }
+}
+
+// Serialized mining == in-memory mining == tree-round-tripped mining, all
+// the way to final itemsets.
+TEST(Differential, MiningAfterRoundTripsIsUnchanged) {
+  const auto db = random_db(31, 200, 14, 0.35);
+  const Count minsup = 4;
+  const auto built = core::build_from_database(db, minsup);
+  const auto direct = core::mine(db, minsup, core::Algorithm::kPltConditional);
+
+  // Rebuild the database from the tree form and mine it again.
+  const auto tree_plt =
+      core::TreeView::from_plt(built.plt).to_plt(built.plt.max_rank());
+  tdb::Database rebuilt;
+  std::vector<Item> row;
+  tree_plt.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                        const core::Partition::Entry& e) {
+    row.clear();
+    Rank acc = 0;
+    for (const Pos p : v) {
+      acc += p;
+      row.push_back(built.view.item_of(acc));
+    }
+    for (Count c = 0; c < e.freq; ++c) rebuilt.add(row);
+  });
+  const auto re_mined =
+      core::mine(rebuilt, minsup, core::Algorithm::kPltConditional);
+  plt::testing::expect_same_itemsets(direct.itemsets, re_mined.itemsets,
+                                     "tree round trip mining");
+}
+
+}  // namespace
+}  // namespace plt

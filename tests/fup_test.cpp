@@ -1,0 +1,131 @@
+// FUP incremental result maintenance: exact equivalence with batch mining
+// of the combined database, and the rescan-frugality property.
+#include <gtest/gtest.h>
+
+#include "core/fup.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+FrequentItemsets batch(const tdb::Database& db, Count minsup) {
+  return mine(db, minsup, Algorithm::kPltConditional).itemsets;
+}
+
+tdb::Database combined(const tdb::Database& a, const tdb::Database& b) {
+  tdb::Database out;
+  for (std::size_t t = 0; t < a.size(); ++t) out.add(a[t]);
+  for (std::size_t t = 0; t < b.size(); ++t) out.add(b[t]);
+  return out;
+}
+
+TEST(Fup, PaperExamplePlusDelta) {
+  const auto old_db = plt::testing::paper_table1();
+  const auto old_frequent = batch(old_db, 2);
+  const auto delta = tdb::Database::from_rows({{1, 3, 4}, {1, 3, 4}});
+  const auto result = fup_update(old_db, old_frequent, 2, delta, 2);
+  plt::testing::expect_same_itemsets(result.itemsets,
+                                     batch(combined(old_db, delta), 2),
+                                     "fup table1");
+  // ACD was infrequent (support 1); the delta promotes it to 3.
+  EXPECT_EQ(result.itemsets.find_support(Itemset{1, 3, 4}), 3u);
+  EXPECT_GT(result.rescanned, 0u);
+}
+
+class FupSweep : public ::testing::TestWithParam<
+                     std::tuple<std::uint64_t, Count, Count>> {};
+
+TEST_P(FupSweep, MatchesBatchMiningOfCombined) {
+  const auto [seed, old_minsup, new_minsup] = GetParam();
+  datagen::QuestConfig cfg;
+  cfg.transactions = 600;
+  cfg.items = 40;
+  cfg.seed = seed;
+  const auto old_db = datagen::generate_quest(cfg);
+  cfg.transactions = 150;
+  cfg.seed = seed + 100;
+  const auto delta = datagen::generate_quest(cfg);
+
+  const auto old_frequent = batch(old_db, old_minsup);
+  const auto result =
+      fup_update(old_db, old_frequent, old_minsup, delta, new_minsup);
+  plt::testing::expect_same_itemsets(
+      result.itemsets, batch(combined(old_db, delta), new_minsup), "fup");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FupSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values<Count>(5, 12),
+                       ::testing::Values<Count>(12, 20)));
+
+TEST(Fup, EmptyDelta) {
+  const auto old_db = plt::testing::paper_table1();
+  const auto old_frequent = batch(old_db, 2);
+  tdb::Database delta;
+  const auto result = fup_update(old_db, old_frequent, 2, delta, 2);
+  plt::testing::expect_same_itemsets(result.itemsets, old_frequent,
+                                     "fup empty delta");
+  EXPECT_EQ(result.rescanned, 0u);
+}
+
+TEST(Fup, ThresholdRaiseWithoutDelta) {
+  const auto old_db = plt::testing::paper_table1();
+  const auto old_frequent = batch(old_db, 2);
+  tdb::Database delta;
+  const auto result = fup_update(old_db, old_frequent, 2, delta, 3);
+  plt::testing::expect_same_itemsets(result.itemsets, batch(old_db, 3),
+                                     "fup raise");
+}
+
+TEST(Fup, BrandNewItemsInDelta) {
+  const auto old_db = plt::testing::paper_table1();
+  const auto old_frequent = batch(old_db, 2);
+  tdb::Database delta;
+  for (int i = 0; i < 4; ++i) delta.add({50, 51});
+  const auto result = fup_update(old_db, old_frequent, 2, delta, 2);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{50, 51}), 4u);
+  plt::testing::expect_same_itemsets(result.itemsets,
+                                     batch(combined(old_db, delta), 2),
+                                     "fup new items");
+}
+
+TEST(Fup, RescanFrugality) {
+  // The FUP setting keeps the support *fraction* constant, so the absolute
+  // threshold rises with the database: minsup 30/3000 -> 33/3300. A small
+  // delta then rescans only a tiny candidate set (losers need
+  // new-old+1 = 4 delta occurrences to qualify).
+  datagen::QuestConfig cfg;
+  cfg.transactions = 3000;
+  cfg.items = 60;
+  cfg.seed = 5;
+  const auto old_db = datagen::generate_quest(cfg);
+  cfg.transactions = 300;
+  cfg.seed = 6;
+  const auto delta = datagen::generate_quest(cfg);
+  const Count old_minsup = 30;
+  const Count new_minsup = 33;  // same 1% of the grown database
+  const auto old_frequent = batch(old_db, old_minsup);
+  const auto result =
+      fup_update(old_db, old_frequent, old_minsup, delta, new_minsup);
+  plt::testing::expect_same_itemsets(
+      result.itemsets, batch(combined(old_db, delta), new_minsup),
+      "fup big");
+  EXPECT_LT(result.rescanned,
+            (result.winner_candidates + result.loser_candidates) / 10 + 50)
+      << "rescanned " << result.rescanned << " of "
+      << result.winner_candidates + result.loser_candidates;
+}
+
+TEST(FupDeath, DecreasingThresholdRejected) {
+  const auto old_db = plt::testing::paper_table1();
+  const auto old_frequent = batch(old_db, 3);
+  tdb::Database delta;
+  EXPECT_DEATH(fup_update(old_db, old_frequent, 3, delta, 2),
+               "non-decreasing");
+}
+
+}  // namespace
+}  // namespace plt::core

@@ -1,0 +1,102 @@
+// Experiment-harness tests: support grids, sweep execution, cross-check
+// failure detection, and report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/datasets.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "test_support.hpp"
+
+namespace plt::harness {
+namespace {
+
+TEST(Harness, AbsoluteSupportRoundsUpAndClampsToOne) {
+  const auto db = plt::testing::paper_table1();  // 6 transactions
+  EXPECT_EQ(absolute_support(db, 0.5), 3u);
+  EXPECT_EQ(absolute_support(db, 0.34), 3u);   // ceil(2.04)
+  EXPECT_EQ(absolute_support(db, 0.0001), 1u);
+  EXPECT_EQ(absolute_support(db, 1.0), 6u);
+}
+
+TEST(Harness, SupportGridSortedDescendingUnique) {
+  const auto db = plt::testing::paper_table1();
+  const auto grid = support_grid(db, {0.5, 0.1, 0.5, 0.9});
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid[0], 6u);
+  EXPECT_EQ(grid[1], 3u);
+  EXPECT_EQ(grid[2], 1u);
+}
+
+TEST(Harness, ScaledDatasetRespectsScale) {
+  const auto half = scaled_dataset("short-dense", 0.1);
+  const auto full = scaled_dataset("short-dense", 0.2);
+  EXPECT_LT(half.size(), full.size());
+  EXPECT_THROW(scaled_dataset("nope", 1.0), std::out_of_range);
+}
+
+TEST(Harness, SweepRunsAllCellsAndCrossChecks) {
+  const auto db = plt::testing::paper_table1();
+  SweepConfig config;
+  config.dataset_name = "table1";
+  config.db = &db;
+  config.supports = {3, 2};
+  config.algorithms = {core::Algorithm::kPltConditional,
+                       core::Algorithm::kApriori,
+                       core::Algorithm::kFpGrowth};
+  const auto cells = run_sweep(config);
+  ASSERT_EQ(cells.size(), 6u);
+  for (const auto& cell : cells) {
+    EXPECT_FALSE(cell.failed);
+    EXPECT_EQ(cell.dataset, "table1");
+  }
+  // At support 2 the paper's answer is 13 itemsets of max length 3.
+  EXPECT_EQ(cells[3].min_support, 2u);
+  EXPECT_EQ(cells[3].frequent_itemsets, 13u);
+  EXPECT_EQ(cells[3].max_length, 3u);
+}
+
+TEST(Harness, SweepRecordsGuardFailures) {
+  // One 30-item transaction trips the top-down guard but not the others.
+  std::vector<Item> wide;
+  for (Item i = 1; i <= 30; ++i) wide.push_back(i);
+  tdb::Database db;
+  db.add(wide);
+  db.add(wide);
+  SweepConfig config;
+  config.dataset_name = "wide";
+  config.db = &db;
+  config.supports = {2};
+  config.algorithms = {core::Algorithm::kPltTopDownCanonical};
+  config.mine_options.topdown_max_transaction_len = 16;
+  config.cross_check = false;
+  const auto cells = run_sweep(config);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].failed);
+  EXPECT_NE(cells[0].failure_reason.find("refused"), std::string::npos);
+}
+
+TEST(Harness, ReportRendering) {
+  const auto db = plt::testing::paper_table1();
+  SweepConfig config;
+  config.dataset_name = "table1";
+  config.db = &db;
+  config.supports = {2};
+  config.algorithms = {core::Algorithm::kPltConditional,
+                       core::Algorithm::kEclat};
+  const auto cells = run_sweep(config);
+
+  std::ostringstream out;
+  print_banner(out, "E2", "sparse sweep", "paper section 5.1");
+  print_sweep(out, "results", cells, /*csv=*/true);
+  print_winners(out, cells);
+  const auto text = out.str();
+  EXPECT_NE(text.find("E2"), std::string::npos);
+  EXPECT_NE(text.find("plt-conditional"), std::string::npos);
+  EXPECT_NE(text.find("winners"), std::string::npos);
+  EXPECT_NE(text.find("csv:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plt::harness

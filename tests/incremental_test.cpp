@@ -1,0 +1,132 @@
+// Incremental PLT maintenance: add/remove equivalence with batch builds,
+// tombstone handling, and failure injection.
+#include <gtest/gtest.h>
+
+#include "core/incremental.hpp"
+#include "core/miner.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+FrequentItemsets batch_mine(const tdb::Database& db, Count minsup) {
+  return mine(db, minsup, Algorithm::kPltConditional).itemsets;
+}
+
+TEST(Incremental, MatchesBatchAfterBulkLoad) {
+  const auto db = plt::testing::paper_table1();
+  IncrementalPlt inc(6);
+  inc.add_all(db);
+  EXPECT_EQ(inc.size(), 6u);
+  plt::testing::expect_same_itemsets(inc.mine(2), batch_mine(db, 2),
+                                     "bulk load");
+}
+
+TEST(Incremental, AddThenMineRepeatedly) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 30;
+  cfg.seed = 5;
+  const auto db = datagen::generate_quest(cfg);
+
+  IncrementalPlt inc(30);
+  tdb::Database so_far;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    inc.add(db[t]);
+    so_far.add(db[t]);
+    if ((t + 1) % 100 == 0) {
+      plt::testing::expect_same_itemsets(inc.mine(5), batch_mine(so_far, 5),
+                                         "incremental prefix");
+    }
+  }
+}
+
+TEST(Incremental, RemoveUndoesAdd) {
+  IncrementalPlt inc(10);
+  inc.add({1, 2, 3});
+  inc.add({1, 2});
+  inc.add({1, 2, 3});
+  inc.remove({1, 2, 3});
+  EXPECT_EQ(inc.size(), 2u);
+  const auto mined = inc.mine(1);
+  EXPECT_EQ(mined.find_support(Itemset{1, 2, 3}), 1u);
+  EXPECT_EQ(mined.find_support(Itemset{1, 2}), 2u);
+  EXPECT_EQ(inc.item_support(3), 1u);
+}
+
+TEST(Incremental, RemoveToZeroLeavesConsistentState) {
+  IncrementalPlt inc(5);
+  inc.add({1, 2});
+  inc.remove({2, 1});  // order-insensitive
+  EXPECT_EQ(inc.size(), 0u);
+  EXPECT_TRUE(inc.mine(1).empty());
+  // Re-adding after a tombstone works.
+  inc.add({1, 2});
+  EXPECT_EQ(inc.mine(1).find_support(Itemset{1, 2}), 1u);
+}
+
+TEST(Incremental, RemoveAbsentThrows) {
+  IncrementalPlt inc(5);
+  inc.add({1, 2});
+  EXPECT_THROW(inc.remove({1, 3}), std::invalid_argument);
+  EXPECT_THROW(inc.remove({1, 2, 3}), std::invalid_argument);
+  inc.remove({1, 2});
+  EXPECT_THROW(inc.remove({1, 2}), std::invalid_argument);
+}
+
+TEST(Incremental, OutOfRangeItemsThrow) {
+  IncrementalPlt inc(5);
+  EXPECT_THROW(inc.add({0}), std::invalid_argument);
+  EXPECT_THROW(inc.add({6}), std::invalid_argument);
+}
+
+TEST(Incremental, RandomizedChurnMatchesBatch) {
+  Rng rng(77);
+  IncrementalPlt inc(12);
+  std::vector<std::vector<Item>> live;
+  for (int op = 0; op < 600; ++op) {
+    if (live.empty() || rng.next_bool(0.65)) {
+      std::vector<Item> row;
+      for (Item i = 1; i <= 12; ++i)
+        if (rng.next_bool(0.3)) row.push_back(i);
+      if (row.empty()) row.push_back(1);
+      inc.add(row);
+      live.push_back(row);
+    } else {
+      const auto victim = rng.next_below(live.size());
+      inc.remove(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  tdb::Database batch;
+  for (const auto& row : live) batch.add(row);
+  EXPECT_EQ(inc.size(), live.size());
+  if (!live.empty()) {
+    plt::testing::expect_same_itemsets(inc.mine(3), batch_mine(batch, 3),
+                                       "churn");
+  }
+}
+
+TEST(Incremental, ToDatabaseRoundTrip) {
+  const auto db = plt::testing::paper_table1();
+  IncrementalPlt inc(6);
+  inc.add_all(db);
+  const auto rebuilt = inc.to_database();
+  // Same multiset of transactions (order may differ) -> same mining answer.
+  plt::testing::expect_same_itemsets(batch_mine(rebuilt, 2),
+                                     batch_mine(db, 2), "to_database");
+  EXPECT_EQ(rebuilt.size(), db.size());
+}
+
+TEST(Incremental, DistinctVectorsCollapseDuplicates) {
+  IncrementalPlt inc(8);
+  for (int i = 0; i < 50; ++i) inc.add({2, 4, 8});
+  EXPECT_EQ(inc.size(), 50u);
+  EXPECT_EQ(inc.distinct_vectors(), 1u);
+  EXPECT_GT(inc.memory_usage(), 0u);
+}
+
+}  // namespace
+}  // namespace plt::core

@@ -1,0 +1,162 @@
+// Native maximal mining (MaxMiner-style) and AIS and the bitmap layout:
+// each validated against its reference implementation.
+#include <gtest/gtest.h>
+
+#include "baselines/ais.hpp"
+#include "baselines/brute.hpp"
+#include "baselines/maxminer.hpp"
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "core/subset_check.hpp"
+#include "core/builder.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "tdb/bitmap.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt {
+namespace {
+
+using core::FrequentItemsets;
+
+FrequentItemsets maximal_reference(const tdb::Database& db, Count minsup) {
+  const auto mined = core::mine(db, minsup, core::Algorithm::kFpGrowth);
+  return core::maximal_itemsets(mined.itemsets);
+}
+
+FrequentItemsets maxminer(const tdb::Database& db, Count minsup) {
+  FrequentItemsets out;
+  baselines::mine_maxminer(db, minsup, core::collect_into(out));
+  return out;
+}
+
+TEST(MaxMiner, PaperExample) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = maxminer(db, 2);
+  // Maximal at minsup 2: ABC, ABD, BCD.
+  EXPECT_EQ(mined.size(), 3u);
+  EXPECT_EQ(mined.find_support(Itemset{1, 2, 3}), 3u);
+  plt::testing::expect_same_itemsets(mined, maximal_reference(db, 2),
+                                     "maxminer table1");
+}
+
+class MaxMinerSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Count>> {};
+
+TEST_P(MaxMinerSweep, MatchesPostPassMaximal) {
+  const auto [seed, minsup] = GetParam();
+  Rng rng(seed);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (int t = 0; t < 150; ++t) {
+    row.clear();
+    for (Item i = 1; i <= 13; ++i)
+      if (rng.next_bool(0.35)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  plt::testing::expect_same_itemsets(maxminer(db, minsup),
+                                     maximal_reference(db, minsup),
+                                     "maxminer sweep");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaxMinerSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(11, 12, 13, 14),
+                       ::testing::Values<Count>(2, 6, 18, 45)));
+
+TEST(MaxMiner, DenseLookaheadFires) {
+  // Many identical long rows: the lookahead should collapse the search to
+  // one maximal set immediately.
+  tdb::Database db;
+  for (int i = 0; i < 50; ++i) db.add({1, 2, 3, 4, 5, 6, 7, 8});
+  const auto mined = maxminer(db, 10);
+  ASSERT_EQ(mined.size(), 1u);
+  EXPECT_EQ(mined.itemset(0).size(), 8u);
+  EXPECT_EQ(mined.support(0), 50u);
+}
+
+TEST(MaxMiner, Degenerate) {
+  tdb::Database empty;
+  EXPECT_TRUE(maxminer(empty, 1).empty());
+}
+
+TEST(Ais, PaperExample) {
+  FrequentItemsets mined;
+  baselines::mine_ais(plt::testing::paper_table1(), 2,
+                      core::collect_into(mined));
+  FrequentItemsets expected;
+  baselines::mine_brute_force(plt::testing::paper_table1(), 2,
+                              core::collect_into(expected));
+  plt::testing::expect_same_itemsets(mined, expected, "ais table1");
+}
+
+TEST(Ais, QuestWorkload) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 250;
+  cfg.items = 25;
+  cfg.seed = 3;
+  const auto db = datagen::generate_quest(cfg);
+  FrequentItemsets mined, expected;
+  baselines::mine_ais(db, 4, core::collect_into(mined));
+  baselines::mine_brute_force(db, 4, core::collect_into(expected));
+  plt::testing::expect_same_itemsets(mined, expected, "ais quest");
+}
+
+TEST(Bitmap, ContainsMatchesDatabase) {
+  const auto db = plt::testing::paper_table1();
+  const tdb::BitmapView bitmap(db);
+  EXPECT_EQ(bitmap.transactions(), 6u);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (Item i = 1; i <= 8; ++i) {
+      const auto row = db[t];
+      const bool expected =
+          std::binary_search(row.begin(), row.end(), i);
+      EXPECT_EQ(bitmap.contains(t, i), expected) << t << " " << i;
+    }
+  }
+}
+
+TEST(Bitmap, SupportMatchesScan) {
+  Rng rng(31);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (int t = 0; t < 300; ++t) {
+    row.clear();
+    for (Item i = 1; i <= 70; ++i)  // cross the 64-bit word boundary
+      if (rng.next_bool(0.2)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  const tdb::BitmapView bitmap(db);
+  const auto view = core::build_ranked_view(db, 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    Itemset query;
+    Item item = 0;
+    const auto len = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      item += static_cast<Item>(rng.next_below(18) + 1);
+      if (item > 70) break;
+      query.push_back(item);
+    }
+    if (query.empty()) continue;
+    Count expected = 0;
+    for (std::size_t t = 0; t < db.size(); ++t)
+      expected += std::includes(db[t].begin(), db[t].end(), query.begin(),
+                                query.end());
+    EXPECT_EQ(bitmap.support_of(query), expected);
+  }
+  (void)view;
+}
+
+TEST(Bitmap, OutOfRangeItems) {
+  const auto db = tdb::Database::from_rows({{1, 2}});
+  const tdb::BitmapView bitmap(db);
+  EXPECT_FALSE(bitmap.contains(0, 99));
+  EXPECT_EQ(bitmap.support_of(Itemset{99}), 0u);
+  EXPECT_GT(bitmap.memory_usage(), 0u);
+}
+
+}  // namespace
+}  // namespace plt

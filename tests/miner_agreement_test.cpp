@@ -1,0 +1,195 @@
+// Cross-miner agreement: every algorithm in the repo (PLT conditional ×2,
+// PLT top-down ×2, Apriori, FP-growth, Eclat, dEclat) must produce exactly
+// the same frequent itemsets and supports as the brute-force oracle, across
+// a parameterized grid of workload shapes, sizes and thresholds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/brute.hpp"
+#include "core/miner.hpp"
+#include "core/topdown.hpp"
+#include "datagen/clickstream.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/zipf.hpp"
+#include "test_support.hpp"
+
+namespace plt::core {
+namespace {
+
+struct Workload {
+  const char* name;
+  tdb::Database (*make)(std::uint64_t seed);
+};
+
+tdb::Database make_quest(std::uint64_t seed) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 250;
+  cfg.items = 40;
+  cfg.avg_transaction_len = 6.0;
+  cfg.avg_pattern_len = 3.0;
+  cfg.patterns = 30;
+  cfg.seed = seed;
+  return datagen::generate_quest(cfg);
+}
+
+tdb::Database make_dense(std::uint64_t seed) {
+  datagen::DenseConfig cfg;
+  cfg.transactions = 200;
+  cfg.items = 14;
+  cfg.density = 0.45;
+  cfg.classes = 3;
+  cfg.seed = seed;
+  return datagen::generate_dense(cfg);
+}
+
+tdb::Database make_zipf(std::uint64_t seed) {
+  datagen::ZipfConfig cfg;
+  cfg.transactions = 250;
+  cfg.items = 60;
+  cfg.exponent = 1.1;
+  cfg.avg_transaction_len = 5.0;
+  cfg.seed = seed;
+  return datagen::generate_zipf(cfg);
+}
+
+tdb::Database make_clicks(std::uint64_t seed) {
+  datagen::ClickstreamConfig cfg;
+  cfg.sessions = 250;
+  cfg.pages = 40;
+  cfg.out_degree = 5;
+  cfg.max_session_len = 15;
+  cfg.seed = seed;
+  return datagen::generate_clickstream(cfg);
+}
+
+const Workload kWorkloads[] = {
+    {"quest", &make_quest},
+    {"dense", &make_dense},
+    {"zipf", &make_zipf},
+    {"clicks", &make_clicks},
+};
+
+class AgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, Count, std::uint64_t>> {
+};
+
+TEST_P(AgreementTest, AllAlgorithmsMatchOracle) {
+  const auto [workload_index, minsup, seed] = GetParam();
+  const Workload& workload =
+      kWorkloads[static_cast<std::size_t>(workload_index)];
+  const auto db = workload.make(seed);
+
+  FrequentItemsets oracle;
+  baselines::mine_brute_force(db, minsup, collect_into(oracle));
+
+  for (const Algorithm algorithm : all_algorithms()) {
+    MineOptions options;
+    options.topdown_max_transaction_len = 22;
+    MineResult result;
+    try {
+      result = mine(db, minsup, algorithm, options);
+    } catch (const TopDownOverflow&) {
+      // Acceptable only for the top-down variants on long transactions.
+      ASSERT_TRUE(algorithm == Algorithm::kPltTopDownCanonical ||
+                  algorithm == Algorithm::kPltTopDownSweep)
+          << algorithm_name(algorithm);
+      continue;
+    }
+    SCOPED_TRACE(std::string(workload.name) + " minsup=" +
+                 std::to_string(minsup) + " seed=" + std::to_string(seed) +
+                 " algo=" + algorithm_name(algorithm));
+    plt::testing::expect_same_itemsets(oracle, result.itemsets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AgreementTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),      // workload
+                       ::testing::Values<Count>(2, 5, 12), // minsup
+                       ::testing::Values<std::uint64_t>(1, 2, 3)),  // seed
+    [](const ::testing::TestParamInfo<AgreementTest::ParamType>& info) {
+      return std::string(
+                 kWorkloads[static_cast<std::size_t>(
+                                std::get<0>(info.param))].name) +
+             "_s" + std::to_string(std::get<1>(info.param)) + "_r" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Item-order ablation: mining under frequency orderings must not change the
+// answer, only the internal structure.
+class ItemOrderTest : public ::testing::TestWithParam<tdb::ItemOrder> {};
+
+TEST_P(ItemOrderTest, OrderingDoesNotChangeResults) {
+  const auto db = make_quest(9);
+  FrequentItemsets oracle;
+  baselines::mine_brute_force(db, 3, collect_into(oracle));
+  MineOptions options;
+  options.item_order = GetParam();
+  const auto result = mine(db, 3, Algorithm::kPltConditional, options);
+  plt::testing::expect_same_itemsets(oracle, result.itemsets, "item order");
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ItemOrderTest,
+                         ::testing::Values(tdb::ItemOrder::kById,
+                                           tdb::ItemOrder::kByFreqAscending,
+                                           tdb::ItemOrder::kByFreqDescending));
+
+// Support-monotonicity property: raising the threshold must yield a subset.
+TEST(MinerProperties, ResultsShrinkAsSupportRises) {
+  const auto db = make_dense(5);
+  std::size_t previous = static_cast<std::size_t>(-1);
+  for (const Count minsup : {2u, 5u, 10u, 25u, 60u}) {
+    const auto result = mine(db, minsup, Algorithm::kPltConditional);
+    EXPECT_LE(result.itemsets.size(), previous) << minsup;
+    previous = result.itemsets.size();
+  }
+}
+
+// Every reported itemset must satisfy the threshold, and every single item
+// above the threshold must be reported (completeness at level 1).
+TEST(MinerProperties, ThresholdRespectedAndLevel1Complete) {
+  const auto db = make_zipf(7);
+  const Count minsup = 4;
+  const auto result = mine(db, minsup, Algorithm::kFpGrowth);
+  for (std::size_t i = 0; i < result.itemsets.size(); ++i)
+    EXPECT_GE(result.itemsets.support(i), minsup);
+  const auto supports = db.item_supports();
+  for (Item item = 0; item < supports.size(); ++item) {
+    if (supports[item] >= minsup) {
+      EXPECT_EQ(result.itemsets.find_support(Itemset{item}), supports[item])
+          << item;
+    }
+  }
+}
+
+TEST(MinerProperties, StatsPopulated) {
+  const auto db = make_quest(3);
+  for (const Algorithm algorithm : all_algorithms()) {
+    const auto result = mine(db, 3, algorithm);
+    EXPECT_GE(result.build_seconds, 0.0);
+    EXPECT_GE(result.mine_seconds, 0.0);
+    if (algorithm != Algorithm::kPltTopDownCanonical &&
+        algorithm != Algorithm::kPltTopDownSweep) {
+      EXPECT_GT(result.structure_bytes, 0u) << algorithm_name(algorithm);
+    }
+  }
+}
+
+TEST(MinerProperties, AlgorithmNamesAreStable) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kPltConditional),
+               "plt-conditional");
+  EXPECT_STREQ(algorithm_name(Algorithm::kApriori), "apriori");
+  EXPECT_STREQ(algorithm_name(Algorithm::kFpGrowth), "fp-growth");
+  EXPECT_STREQ(algorithm_name(Algorithm::kHMine), "h-mine");
+  EXPECT_STREQ(algorithm_name(Algorithm::kAprioriTid), "apriori-tid");
+  EXPECT_STREQ(algorithm_name(Algorithm::kDhp), "dhp");
+  EXPECT_STREQ(algorithm_name(Algorithm::kDic), "dic");
+  EXPECT_STREQ(algorithm_name(Algorithm::kPartition), "partition");
+  EXPECT_STREQ(algorithm_name(Algorithm::kAis), "ais");
+  EXPECT_EQ(all_algorithms().size(), 14u);
+}
+
+}  // namespace
+}  // namespace plt::core

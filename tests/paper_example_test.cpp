@@ -1,0 +1,182 @@
+// Golden tests pinning the paper's worked example end-to-end: Table 1,
+// the §4.2 rank assignment, the Figure 3 matrices structure, the Figure 4
+// database after top-down propagation, and the Figure 5 conditional
+// database of item D.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/builder.hpp"
+#include "core/conditional.hpp"
+#include "core/miner.hpp"
+#include "core/topdown.hpp"
+#include "test_support.hpp"
+
+namespace plt::core {
+namespace {
+
+constexpr Item A = 1, B = 2, C = 3, D = 4;
+constexpr Count kMinSup = 2;  // the paper's absolute support count
+
+// §4.2: frequent 1-items {(A,4),(B,5),(C,5),(D,4)}; Rank(A..D) = 1..4.
+TEST(PaperExample, RankAssignment) {
+  const auto view =
+      build_ranked_view(plt::testing::paper_table1(), kMinSup);
+  ASSERT_EQ(view.alphabet(), 4u);
+  EXPECT_EQ(view.item_of(1), A);
+  EXPECT_EQ(view.item_of(2), B);
+  EXPECT_EQ(view.item_of(3), C);
+  EXPECT_EQ(view.item_of(4), D);
+  EXPECT_EQ(view.support_of(1), 4u);
+  EXPECT_EQ(view.support_of(2), 5u);
+  EXPECT_EQ(view.support_of(3), 5u);
+  EXPECT_EQ(view.support_of(4), 4u);
+  // E and F are filtered out.
+  EXPECT_EQ(view.remap.map(5), std::nullopt);
+  EXPECT_EQ(view.remap.map(6), std::nullopt);
+}
+
+// Figure 3(a): the matrices (partition) structure after construction.
+TEST(PaperExample, Figure3MatricesStructure) {
+  const auto built =
+      build_from_database(plt::testing::paper_table1(), kMinSup);
+  const Plt& plt = built.plt;
+
+  // Six transactions collapse to five distinct vectors.
+  EXPECT_EQ(plt.num_vectors(), 5u);
+  EXPECT_EQ(plt.total_freq(), 6u);
+  EXPECT_EQ(plt.max_len(), 4u);
+
+  // D2: CD -> [3,1] x1.
+  EXPECT_EQ(plt.freq_of(PosVec{3, 1}), 1u);
+  // D3: ABC -> [1,1,1] x2 (TIDs 1,2); ABD -> [1,1,2] x1; BCD -> [2,1,1] x1.
+  EXPECT_EQ(plt.freq_of(PosVec{1, 1, 1}), 2u);
+  EXPECT_EQ(plt.freq_of(PosVec{1, 1, 2}), 1u);
+  EXPECT_EQ(plt.freq_of(PosVec{2, 1, 1}), 1u);
+  // D4: ABCD -> [1,1,1,1] x1.
+  EXPECT_EQ(plt.freq_of(PosVec{1, 1, 1, 1}), 1u);
+
+  // Stored sums (the paper keeps V.sum with each vector).
+  const auto* d3 = plt.partition(3);
+  ASSERT_NE(d3, nullptr);
+  const auto id = d3->find(PosVec{1, 1, 2});
+  ASSERT_NE(id, Partition::kNoEntry);
+  EXPECT_EQ(d3->entry(id).sum, 4u);
+}
+
+// Figure 4: every subset's exact support after top-down propagation.
+TEST(PaperExample, Figure4TopDownDatabase) {
+  const auto view =
+      build_ranked_view(plt::testing::paper_table1(), kMinSup);
+  for (const auto variant :
+       {TopDownVariant::kCanonical, TopDownVariant::kSweep}) {
+    const Plt table = topdown_expand(view, variant);
+
+    const std::map<PosVec, Count> expected = {
+        {{1}, 4},          // A
+        {{2}, 5},          // B
+        {{3}, 5},          // C
+        {{4}, 4},          // D
+        {{1, 1}, 4},       // AB
+        {{1, 2}, 3},       // AC
+        {{1, 3}, 2},       // AD
+        {{2, 1}, 4},       // BC
+        {{2, 2}, 3},       // BD
+        {{3, 1}, 3},       // CD
+        {{1, 1, 1}, 3},    // ABC
+        {{1, 1, 2}, 2},    // ABD
+        {{1, 2, 1}, 1},    // ACD
+        {{2, 1, 1}, 2},    // BCD
+        {{1, 1, 1, 1}, 1}, // ABCD
+    };
+    std::size_t seen = 0;
+    table.for_each([&](Plt::Ref, std::span<const Pos> v,
+                       const Partition::Entry& e) {
+      const auto it = expected.find(PosVec(v.begin(), v.end()));
+      ASSERT_NE(it, expected.end())
+          << "unexpected vector " << to_string(v) << " (variant "
+          << (variant == TopDownVariant::kCanonical ? "canonical" : "sweep")
+          << ")";
+      EXPECT_EQ(e.freq, it->second) << to_string(v);
+      ++seen;
+    });
+    EXPECT_EQ(seen, expected.size());
+  }
+}
+
+// Figure 5(a): D's conditional database is the prefixes of the sum-4 bucket.
+TEST(PaperExample, Figure5ConditionalDatabaseOfD) {
+  const auto built =
+      build_from_database(plt::testing::paper_table1(), kMinSup);
+  const auto cond = conditional_database(built.plt, /*j=*/4);
+
+  std::map<PosVec, Count> collected;
+  for (const auto& [v, freq] : cond) collected[v] += freq;
+  const std::map<PosVec, Count> expected = {
+      {{1, 1, 1}, 1},  // from ABCD
+      {{1, 1}, 1},     // from ABD
+      {{2, 1}, 1},     // from BCD
+      {{3}, 1},        // from CD
+  };
+  EXPECT_EQ(collected, expected);
+
+  // Support of D = mass of the bucket = 4.
+  Count support = 0;
+  for (const auto ref : built.plt.bucket(4))
+    support += built.plt.entry(ref).freq;
+  EXPECT_EQ(support, 4u);
+}
+
+// The full frequent-itemset answer for Table 1 at support 2, which every
+// miner must reproduce: 13 itemsets (all subsets except ACD and ABCD).
+TEST(PaperExample, FrequentItemsetsAtSupport2) {
+  const std::map<Itemset, Count> expected = {
+      {{A}, 4},      {{B}, 5},      {{C}, 5},      {{D}, 4},
+      {{A, B}, 4},   {{A, C}, 3},   {{A, D}, 2},   {{B, C}, 4},
+      {{B, D}, 3},   {{C, D}, 3},   {{A, B, C}, 3}, {{A, B, D}, 2},
+      {{B, C, D}, 2},
+  };
+  for (const Algorithm algorithm : all_algorithms()) {
+    const auto result =
+        mine(plt::testing::paper_table1(), kMinSup, algorithm);
+    ASSERT_EQ(result.itemsets.size(), expected.size())
+        << algorithm_name(algorithm) << "\n"
+        << result.itemsets.to_string();
+    for (const auto& [items, support] : expected) {
+      EXPECT_EQ(result.itemsets.find_support(items), support)
+          << algorithm_name(algorithm);
+    }
+  }
+}
+
+// The infrequent-by-one itemsets must NOT be reported.
+TEST(PaperExample, InfrequentItemsetsExcluded) {
+  const auto result = mine(plt::testing::paper_table1(), kMinSup,
+                           Algorithm::kPltConditional);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{A, C, D}), 0u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{A, B, C, D}), 0u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{5}), 0u);  // E infrequent
+}
+
+// Paper note: raising the threshold to 3 kills AD, ABD, BCD.
+TEST(PaperExample, HigherSupportThreshold) {
+  const auto result =
+      mine(plt::testing::paper_table1(), 3, Algorithm::kPltConditional);
+  EXPECT_EQ(result.itemsets.size(), 10u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{A, D}), 0u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{A, B, C}), 3u);
+}
+
+// Figure 2 sanity: in the full lexicographic tree over {A,B,C,D}, pos values
+// along any path reconstruct the ranks (spot checks from the figure).
+TEST(PaperExample, Figure2PositionValues) {
+  // Path A->C: V={1,3} ranks -> positions [1,2]: C is "in position two
+  // lexicographically as a child of A" (Definition 4.1.2's example).
+  const PosVec ac = to_positions(std::vector<Rank>{1, 3});
+  EXPECT_EQ(ac, (PosVec{1, 2}));
+  // Root children carry their own ranks.
+  EXPECT_EQ(to_positions(std::vector<Rank>{4}), (PosVec{4}));
+}
+
+}  // namespace
+}  // namespace plt::core

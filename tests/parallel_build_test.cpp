@@ -1,0 +1,88 @@
+// Parallel PLT construction: chunked build + merge must equal the
+// sequential Algorithm 1 exactly, for any thread count and both prefix
+// modes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/builder.hpp"
+#include "datagen/quest.hpp"
+#include "parallel/parallel_build.hpp"
+#include "test_support.hpp"
+
+namespace plt::parallel {
+namespace {
+
+std::map<core::PosVec, Count> contents(const core::Plt& plt) {
+  std::map<core::PosVec, Count> out;
+  plt.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                   const core::Partition::Entry& e) {
+    out[core::PosVec(v.begin(), v.end())] = e.freq;
+  });
+  return out;
+}
+
+class ParallelBuildTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelBuildTest, EqualsSequentialBuild) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 1000;
+  cfg.items = 60;
+  cfg.seed = 21;
+  const auto db = datagen::generate_quest(cfg);
+  const auto view = core::build_ranked_view(db, 3);
+  const auto max_rank = static_cast<Rank>(view.alphabet());
+
+  for (const bool prefixes : {false, true}) {
+    core::BuildOptions build;
+    build.insert_prefixes = prefixes;
+    const auto sequential = core::build_plt(view.db, max_rank, build);
+
+    BuildOptions options;
+    options.threads = GetParam();
+    options.build = build;
+    const auto parallel = build_plt_parallel(view.db, max_rank, options);
+    EXPECT_EQ(contents(parallel), contents(sequential))
+        << "prefixes=" << prefixes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelBuildTest,
+                         ::testing::Values<std::size_t>(1, 2, 3, 8));
+
+TEST(ParallelBuild, PaperExample) {
+  const auto view =
+      core::build_ranked_view(plt::testing::paper_table1(), 2);
+  BuildOptions options;
+  options.threads = 4;
+  const auto plt = build_plt_parallel(view.db, 4, options);
+  EXPECT_EQ(plt.num_vectors(), 5u);
+  EXPECT_EQ(plt.freq_of(core::PosVec{1, 1, 1}), 2u);
+}
+
+TEST(ParallelBuild, MoreThreadsThanTransactions) {
+  const auto db = tdb::Database::from_rows({{1, 2}, {2, 3}});
+  const auto view = core::build_ranked_view(db, 1);
+  BuildOptions options;
+  options.threads = 16;
+  const auto plt = build_plt_parallel(view.db, 3, options);
+  EXPECT_EQ(plt.total_freq(), 2u);
+}
+
+TEST(ParallelBuild, MergeAddsFrequencies) {
+  core::Plt a(4), b(4);
+  a.add(core::PosVec{1, 1}, 2);
+  b.add(core::PosVec{1, 1}, 3);
+  b.add(core::PosVec{4}, 1);
+  merge_plt(a, b);
+  EXPECT_EQ(a.freq_of(core::PosVec{1, 1}), 5u);
+  EXPECT_EQ(a.freq_of(core::PosVec{4}), 1u);
+}
+
+TEST(ParallelBuildDeath, MismatchedAlphabets) {
+  core::Plt a(4), b(5);
+  EXPECT_DEATH(merge_plt(a, b), "different alphabets");
+}
+
+}  // namespace
+}  // namespace plt::parallel

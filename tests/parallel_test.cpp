@@ -1,0 +1,91 @@
+// Parallel partition miner: results identical to the sequential conditional
+// miner for any thread count, on all workload shapes.
+#include <gtest/gtest.h>
+
+#include "core/miner.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "parallel/partition_miner.hpp"
+#include "test_support.hpp"
+
+namespace plt::parallel {
+namespace {
+
+tdb::Database quest_db(std::uint64_t seed) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 400;
+  cfg.items = 60;
+  cfg.seed = seed;
+  return datagen::generate_quest(cfg);
+}
+
+class ThreadCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCountTest, MatchesSequentialConditional) {
+  const auto db = quest_db(3);
+  const Count minsup = 4;
+  const auto sequential =
+      core::mine(db, minsup, core::Algorithm::kPltConditional);
+  ParallelOptions options;
+  options.threads = GetParam();
+  const auto parallel = mine_parallel(db, minsup, options);
+  plt::testing::expect_same_itemsets(sequential.itemsets, parallel.itemsets,
+                                     "parallel vs sequential");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
+                         ::testing::Values<std::size_t>(1, 2, 4, 8));
+
+TEST(Parallel, PaperExampleAnswer) {
+  ParallelOptions options;
+  options.threads = 3;
+  const auto result = mine_parallel(plt::testing::paper_table1(), 2, options);
+  EXPECT_EQ(result.itemsets.size(), 13u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{2, 3, 4}), 2u);  // BCD
+}
+
+TEST(Parallel, DenseWorkload) {
+  const auto db = datagen::generate_dense(datagen::chess_like(200, 3));
+  const Count minsup = 160;  // high support keeps the run small
+  const auto sequential =
+      core::mine(db, minsup, core::Algorithm::kPltConditional);
+  ParallelOptions options;
+  options.threads = 4;
+  const auto parallel = mine_parallel(db, minsup, options);
+  plt::testing::expect_same_itemsets(sequential.itemsets, parallel.itemsets,
+                                     "dense");
+}
+
+TEST(Parallel, NoFrequentItems) {
+  const auto db = tdb::Database::from_rows({{1}, {2}, {3}});
+  const auto result = mine_parallel(db, 2, {});
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(Parallel, EmptyDatabase) {
+  tdb::Database empty;
+  const auto result = mine_parallel(empty, 1, {});
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(Parallel, DeterministicAfterCanonicalization) {
+  const auto db = quest_db(11);
+  ParallelOptions options;
+  options.threads = 4;
+  auto a = mine_parallel(db, 3, options).itemsets;
+  auto b = mine_parallel(db, 3, options).itemsets;
+  EXPECT_TRUE(core::FrequentItemsets::equal(std::move(a), std::move(b)));
+}
+
+TEST(Parallel, StatsPopulated) {
+  const auto db = quest_db(13);
+  ParallelOptions options;
+  options.threads = 2;
+  const auto result = mine_parallel(db, 3, options);
+  EXPECT_GT(result.structure_bytes, 0u);
+  EXPECT_GE(result.build_seconds, 0.0);
+  EXPECT_GE(result.mine_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace plt::parallel

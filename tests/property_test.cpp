@@ -1,0 +1,163 @@
+// Cross-cutting property tests: algebraic laws the core abstractions must
+// satisfy, swept over randomized inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compress/varint.hpp"
+#include "core/itemset_collector.hpp"
+#include "core/plt.hpp"
+#include "core/subset_check.hpp"
+#include "util/rng.hpp"
+
+namespace plt {
+namespace {
+
+core::PosVec random_vec(Rng& rng, std::size_t max_len, Pos max_gap) {
+  core::PosVec v;
+  const auto len = 1 + rng.next_below(max_len);
+  for (std::uint64_t i = 0; i < len; ++i)
+    v.push_back(static_cast<Pos>(rng.next_below(max_gap) + 1));
+  return v;
+}
+
+// Subset relation laws: reflexive, antisymmetric (on distinct vectors),
+// transitive.
+TEST(Property, PositionalSubsetIsPartialOrder) {
+  Rng rng(201);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = random_vec(rng, 6, 4);
+    const auto b = random_vec(rng, 6, 4);
+    const auto c = random_vec(rng, 6, 4);
+    EXPECT_TRUE(core::positional_subset(a, a));
+    if (core::positional_subset(a, b) && core::positional_subset(b, a))
+      EXPECT_EQ(a, b);
+    if (core::positional_subset(a, b) && core::positional_subset(b, c))
+      EXPECT_TRUE(core::positional_subset(a, c));
+  }
+}
+
+// Every level-(k-1) subset form is accepted by the subset checker.
+TEST(Property, LevelSubsetsAreSubsets) {
+  Rng rng(203);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto v = random_vec(rng, 8, 4);
+    for (const auto& s : core::level_subsets(v)) {
+      EXPECT_TRUE(core::positional_subset(s, v))
+          << core::to_string(s) << " vs " << core::to_string(v);
+      EXPECT_FALSE(core::positional_subset(v, s));
+    }
+  }
+}
+
+// Plt::add is commutative and associative in frequency: any insertion order
+// of the same multiset yields identical contents.
+TEST(Property, PltInsertionOrderIrrelevant) {
+  Rng rng(205);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<core::PosVec, Count>> inserts;
+    for (int i = 0; i < 60; ++i)
+      inserts.emplace_back(random_vec(rng, 5, 3), rng.next_below(4) + 1);
+
+    core::Plt forward(32), shuffled(32);
+    for (const auto& [v, f] : inserts) forward.add(v, f);
+    auto mixed = inserts;
+    rng.shuffle(mixed);
+    for (const auto& [v, f] : mixed) shuffled.add(v, f);
+
+    EXPECT_EQ(forward.num_vectors(), shuffled.num_vectors());
+    EXPECT_EQ(forward.total_freq(), shuffled.total_freq());
+    forward.for_each([&](core::Plt::Ref, std::span<const Pos> v,
+                         const core::Partition::Entry& e) {
+      EXPECT_EQ(shuffled.freq_of(v), e.freq);
+    });
+  }
+}
+
+// Canonicalization is idempotent and order-insensitive.
+TEST(Property, CanonicalizeIdempotentAndOrderFree) {
+  Rng rng(207);
+  core::FrequentItemsets a, b;
+  std::vector<std::pair<Itemset, Count>> rows;
+  for (int i = 0; i < 100; ++i) {
+    Itemset items;
+    Item item = 0;
+    const auto len = 1 + rng.next_below(5);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      item += static_cast<Item>(rng.next_below(5) + 1);
+      items.push_back(item);
+    }
+    rows.emplace_back(items, rng.next_below(100) + 1);
+  }
+  for (const auto& [items, support] : rows) a.add(items, support);
+  rng.shuffle(rows);
+  for (const auto& [items, support] : rows) b.add(items, support);
+
+  a.canonicalize();
+  auto a_twice = a;
+  a_twice.canonicalize();
+  EXPECT_EQ(a.to_string(), a_twice.to_string());
+  b.canonicalize();
+  // Same multiset of (itemset, support) rows -> identical rendering.
+  EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+// Varint: encoding length is monotone in the value, and concatenated
+// streams decode to the original sequence.
+TEST(Property, VarintMonotoneAndStreamable) {
+  Rng rng(209);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t value = prev + rng.next_below(1u << 20);
+    EXPECT_GE(compress::varint_size(value), compress::varint_size(prev));
+    prev = value;
+  }
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_u64() >> rng.next_below(64);
+    values.push_back(v);
+    compress::put_varint(stream, v);
+  }
+  std::size_t offset = 0;
+  for (const auto v : values)
+    EXPECT_EQ(compress::get_varint(stream, offset), v);
+  EXPECT_EQ(offset, stream.size());
+}
+
+// support_of over a PLT is monotone: adding any vector never decreases any
+// query's answer.
+TEST(Property, SupportMonotoneUnderInsertion) {
+  Rng rng(211);
+  core::Plt plt(20);
+  std::vector<std::vector<Rank>> queries;
+  for (int q = 0; q < 20; ++q) {
+    std::vector<Rank> query;
+    Rank r = 0;
+    const auto len = 1 + rng.next_below(3);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      r += static_cast<Rank>(rng.next_below(5) + 1);
+      if (r > 20) break;
+      query.push_back(r);
+    }
+    if (!query.empty()) queries.push_back(query);
+  }
+  std::vector<Count> last(queries.size(), 0);
+  for (int step = 0; step < 100; ++step) {
+    core::PosVec v;
+    Rank sum = 0;
+    do {
+      v = random_vec(rng, 5, 4);
+      sum = core::vector_sum(v);
+    } while (sum > 20);
+    plt.add(v, 1);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const Count now = core::support_of(plt, queries[q]);
+      EXPECT_GE(now, last[q]);
+      last[q] = now;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace plt

@@ -1,0 +1,141 @@
+// Query-layer tests: top-k mining and constrained (must-contain) mining,
+// validated against filters over full mining results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/queries.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+
+namespace plt::core {
+namespace {
+
+TEST(TopK, PaperExampleTop3) {
+  const auto top = mine_top_k(plt::testing::paper_table1(), 3);
+  // Supports: B=5, C=5, then four itemsets tied at 4 (A, D, AB, BC).
+  // k=3 keeps B, C and the whole tie group at support 4.
+  ASSERT_GE(top.size(), 3u);
+  Count min_kept = static_cast<Count>(-1);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    min_kept = std::min(min_kept, top.support(i));
+  EXPECT_EQ(min_kept, 4u);
+  EXPECT_EQ(top.find_support(Itemset{2}), 5u);
+  EXPECT_EQ(top.find_support(Itemset{3}), 5u);
+  EXPECT_EQ(top.size(), 6u);  // 2 at sup 5 + 4 tied at sup 4
+}
+
+TEST(TopK, SupportsAreTheKLargest) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 400;
+  cfg.items = 40;
+  cfg.seed = 9;
+  const auto db = datagen::generate_quest(cfg);
+  const std::size_t k = 25;
+  const auto top = mine_top_k(db, k);
+  ASSERT_GE(top.size(), k);
+
+  // Against the full result at minsup 1... too big; minsup 2 suffices as
+  // long as the k-th support is >= 2 (check it).
+  const auto full = mine(db, 2, Algorithm::kPltConditional).itemsets;
+  std::vector<Count> all_supports;
+  for (std::size_t i = 0; i < full.size(); ++i)
+    all_supports.push_back(full.support(i));
+  std::sort(all_supports.begin(), all_supports.end(), std::greater<>());
+  ASSERT_GE(all_supports[k - 1], 2u);
+
+  std::vector<Count> top_supports;
+  for (std::size_t i = 0; i < top.size(); ++i)
+    top_supports.push_back(top.support(i));
+  std::sort(top_supports.begin(), top_supports.end(), std::greater<>());
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_EQ(top_supports[i], all_supports[i]) << i;
+}
+
+TEST(TopK, MinLengthFilter) {
+  TopKOptions options;
+  options.min_length = 2;
+  const auto top = mine_top_k(plt::testing::paper_table1(), 2, options);
+  for (std::size_t i = 0; i < top.size(); ++i)
+    EXPECT_GE(top.itemset(i).size(), 2u);
+  // Best pairs: AB=4, BC=4.
+  EXPECT_EQ(top.find_support(Itemset{1, 2}), 4u);
+  EXPECT_EQ(top.find_support(Itemset{2, 3}), 4u);
+}
+
+TEST(TopK, DegenerateInputs) {
+  EXPECT_TRUE(mine_top_k(plt::testing::paper_table1(), 0).empty());
+  tdb::Database empty;
+  EXPECT_TRUE(mine_top_k(empty, 5).empty());
+  // k larger than everything mineable.
+  const auto all = mine_top_k(plt::testing::paper_table1(), 10000);
+  const auto full =
+      mine(plt::testing::paper_table1(), 1, Algorithm::kPltConditional);
+  EXPECT_EQ(all.size(), full.itemsets.size());
+}
+
+TEST(Containing, PaperExampleConstraintD) {
+  // All frequent itemsets containing D (item 4) at minsup 2:
+  // D, AD, BD, CD, ABD, BCD.
+  const auto result =
+      mine_containing(plt::testing::paper_table1(), 2, Itemset{4});
+  ASSERT_TRUE(result.constraint_support.has_value());
+  EXPECT_EQ(*result.constraint_support, 4u);
+  EXPECT_EQ(result.itemsets.size(), 6u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{4}), 4u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{1, 2, 4}), 2u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{2, 3, 4}), 2u);
+  EXPECT_EQ(result.itemsets.find_support(Itemset{1, 3, 4}), 0u);  // ACD inf.
+}
+
+TEST(Containing, MatchesFilteredFullMining) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 25;
+  cfg.seed = 4;
+  const auto db = datagen::generate_quest(cfg);
+  const Count minsup = 5;
+  const auto full = mine(db, minsup, Algorithm::kPltConditional).itemsets;
+
+  for (const Item anchor : {1u, 3u, 7u}) {
+    const auto constrained = mine_containing(db, minsup, Itemset{anchor});
+    FrequentItemsets filtered;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      const auto z = full.itemset(i);
+      if (std::binary_search(z.begin(), z.end(), anchor))
+        filtered.add(z, full.support(i));
+    }
+    if (!constrained.constraint_support) {
+      EXPECT_TRUE(filtered.empty()) << anchor;
+      continue;
+    }
+    plt::testing::expect_same_itemsets(constrained.itemsets, filtered,
+                                       "constraint filter");
+  }
+}
+
+TEST(Containing, MultiItemConstraint) {
+  const auto result =
+      mine_containing(plt::testing::paper_table1(), 2, Itemset{2, 4});
+  ASSERT_TRUE(result.constraint_support.has_value());
+  EXPECT_EQ(*result.constraint_support, 3u);  // BD in TIDs 3,4,5
+  // Containing both B and D: BD, ABD, BCD.
+  EXPECT_EQ(result.itemsets.size(), 3u);
+}
+
+TEST(Containing, InfrequentConstraint) {
+  const auto result =
+      mine_containing(plt::testing::paper_table1(), 2, Itemset{5});  // E
+  EXPECT_FALSE(result.constraint_support.has_value());
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(Containing, DuplicateItemsInConstraintAreDeduplicated) {
+  const auto result =
+      mine_containing(plt::testing::paper_table1(), 2, Itemset{4, 4});
+  ASSERT_TRUE(result.constraint_support.has_value());
+  EXPECT_EQ(result.itemsets.size(), 6u);
+}
+
+}  // namespace
+}  // namespace plt::core

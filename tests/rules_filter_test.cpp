@@ -1,0 +1,103 @@
+// Rule post-processing tests: metric filters, top-k ordering, redundancy
+// pruning semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/miner.hpp"
+#include "rules/filter.hpp"
+#include "test_support.hpp"
+
+namespace plt::rules {
+namespace {
+
+std::vector<Rule> table1_rules(double min_confidence = 0.0) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kPltConditional);
+  RuleOptions options;
+  options.min_confidence = min_confidence;
+  return generate_rules(mined.itemsets, db.size(), options);
+}
+
+TEST(Filter, ByConfidenceThreshold) {
+  const auto all = table1_rules();
+  const auto strong = filter_by(all, RuleMetric::kConfidence, 0.8);
+  EXPECT_LT(strong.size(), all.size());
+  for (const auto& rule : strong)
+    EXPECT_GE(rule.metrics.confidence, 0.8);
+  // Equivalent to generating with the threshold directly.
+  EXPECT_EQ(strong.size(), table1_rules(0.8).size());
+}
+
+TEST(Filter, ByLiftKeepsOnlyPositiveAssociations) {
+  const auto lifted = filter_by(table1_rules(), RuleMetric::kLift, 1.0001);
+  for (const auto& rule : lifted) EXPECT_GT(rule.metrics.lift, 1.0);
+}
+
+TEST(TopK, OrderedDescendingAndDeterministic) {
+  const auto top = top_k_by(table1_rules(), RuleMetric::kConfidence, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_GE(top[i - 1].metrics.confidence, top[i].metrics.confidence);
+  const auto again = top_k_by(table1_rules(), RuleMetric::kConfidence, 5);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].antecedent, again[i].antecedent) << i;
+    EXPECT_EQ(top[i].consequent, again[i].consequent) << i;
+  }
+}
+
+TEST(TopK, KLargerThanInput) {
+  const auto all = table1_rules(0.9);
+  EXPECT_EQ(top_k_by(all, RuleMetric::kSupport, 10000).size(), all.size());
+}
+
+TEST(Redundancy, SubsetAntecedentWins) {
+  // {A}=>{B} has conf 1.0; {A,C}=>{B} also 1.0 -> redundant.
+  const auto all = table1_rules();
+  const auto pruned = prune_redundant(all);
+  const auto find = [&](const std::vector<Rule>& rules, Itemset x,
+                        Itemset y) {
+    return std::any_of(rules.begin(), rules.end(), [&](const Rule& r) {
+      return r.antecedent == x && r.consequent == y;
+    });
+  };
+  ASSERT_TRUE(find(all, {1}, {2}));
+  ASSERT_TRUE(find(all, {1, 3}, {2}));
+  EXPECT_TRUE(find(pruned, {1}, {2}));
+  EXPECT_FALSE(find(pruned, {1, 3}, {2}));
+  EXPECT_LT(pruned.size(), all.size());
+}
+
+TEST(Redundancy, StrongerSpecificRuleSurvives) {
+  // A longer antecedent with strictly higher confidence must be kept.
+  const auto all = table1_rules();
+  const auto pruned = prune_redundant(all);
+  for (const auto& rule : pruned) {
+    for (const auto& other : all) {
+      if (other.consequent != rule.consequent) continue;
+      if (other.antecedent.size() >= rule.antecedent.size()) continue;
+      if (!std::includes(rule.antecedent.begin(), rule.antecedent.end(),
+                         other.antecedent.begin(), other.antecedent.end()))
+        continue;
+      EXPECT_LT(other.metrics.confidence + 1e-9, rule.metrics.confidence)
+          << to_string(rule) << " should have been pruned by "
+          << to_string(other);
+    }
+  }
+}
+
+TEST(Redundancy, EmptyInput) {
+  EXPECT_TRUE(prune_redundant({}).empty());
+}
+
+TEST(MetricValue, AllMetricsAccessible) {
+  Rule rule;
+  rule.metrics = compute_metrics(4, 5, 6, 10);
+  EXPECT_DOUBLE_EQ(metric_value(rule, RuleMetric::kSupport), 0.4);
+  EXPECT_DOUBLE_EQ(metric_value(rule, RuleMetric::kConfidence), 0.8);
+  EXPECT_GT(metric_value(rule, RuleMetric::kLift), 1.0);
+  EXPECT_GT(metric_value(rule, RuleMetric::kLeverage), 0.0);
+}
+
+}  // namespace
+}  // namespace plt::rules

@@ -1,0 +1,151 @@
+// Association-rule generation tests: metric math, completeness against a
+// brute-force rule enumerator, confidence pruning, and option handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/miner.hpp"
+#include "rules/generator.hpp"
+#include "test_support.hpp"
+
+namespace plt::rules {
+namespace {
+
+TEST(Metrics, HandComputedValues) {
+  // |D|=10, sup(X∪Y)=4, sup(X)=5, sup(Y)=6.
+  const Metrics m = compute_metrics(4, 5, 6, 10);
+  EXPECT_DOUBLE_EQ(m.support, 0.4);
+  EXPECT_DOUBLE_EQ(m.confidence, 0.8);
+  EXPECT_DOUBLE_EQ(m.lift, 0.8 / 0.6);
+  EXPECT_NEAR(m.leverage, 0.4 - 0.5 * 0.6, 1e-12);
+  EXPECT_NEAR(m.conviction, (1.0 - 0.6) / (1.0 - 0.8), 1e-12);
+}
+
+TEST(Metrics, PerfectConfidenceGivesInfiniteConviction) {
+  const Metrics m = compute_metrics(5, 5, 7, 10);
+  EXPECT_DOUBLE_EQ(m.confidence, 1.0);
+  EXPECT_TRUE(std::isinf(m.conviction));
+}
+
+TEST(Metrics, IndependentItemsHaveLiftOne) {
+  // X and Y independent: sup(XY)/n = sup(X)/n * sup(Y)/n.
+  const Metrics m = compute_metrics(6, 12, 50, 100);
+  EXPECT_NEAR(m.lift, 1.0, 1e-12);
+  EXPECT_NEAR(m.leverage, 0.0, 1e-12);
+}
+
+// Brute-force rule enumeration on mined itemsets for comparison.
+std::set<std::string> enumerate_rules_brute(
+    const core::FrequentItemsets& frequent, Count transactions,
+    double min_confidence) {
+  std::set<std::string> out;
+  auto support_of = [&](const Itemset& s) {
+    return frequent.find_support(s);
+  };
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    const auto z = frequent.itemset(i);
+    if (z.size() < 2) continue;
+    const auto bits = static_cast<std::uint32_t>(z.size());
+    for (std::uint32_t mask = 1; mask + 1 < (1u << bits); ++mask) {
+      Itemset x, y;
+      for (std::uint32_t b = 0; b < bits; ++b)
+        ((mask >> b) & 1 ? x : y).push_back(z[b]);
+      const double conf = static_cast<double>(frequent.support(i)) /
+                          static_cast<double>(support_of(x));
+      if (conf + 1e-12 < min_confidence) continue;
+      Rule rule;
+      rule.antecedent = x;
+      rule.consequent = y;
+      rule.union_support = frequent.support(i);
+      rule.metrics = compute_metrics(frequent.support(i), support_of(x),
+                                     support_of(y), transactions);
+      out.insert(to_string(rule));
+    }
+  }
+  return out;
+}
+
+TEST(Generator, MatchesBruteForceEnumeration) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kPltConditional);
+  for (const double min_conf : {0.0, 0.5, 0.7, 0.9, 1.0}) {
+    RuleOptions options;
+    options.min_confidence = min_conf;
+    const auto rules = generate_rules(mined.itemsets, db.size(), options);
+    std::set<std::string> got;
+    for (const auto& rule : rules) got.insert(to_string(rule));
+    EXPECT_EQ(got,
+              enumerate_rules_brute(mined.itemsets, db.size(), min_conf))
+        << "min_conf " << min_conf;
+  }
+}
+
+TEST(Generator, AllRulesMeetConfidenceThreshold) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kFpGrowth);
+  RuleOptions options;
+  options.min_confidence = 0.75;
+  for (const auto& rule : generate_rules(mined.itemsets, db.size(), options))
+    EXPECT_GE(rule.metrics.confidence, 0.75 - 1e-9) << to_string(rule);
+}
+
+TEST(Generator, AntecedentConsequentDisjointAndNonEmpty) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kPltConditional);
+  for (const auto& rule : generate_rules(mined.itemsets, db.size(), {})) {
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    Itemset overlap;
+    std::set_intersection(rule.antecedent.begin(), rule.antecedent.end(),
+                          rule.consequent.begin(), rule.consequent.end(),
+                          std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty()) << to_string(rule);
+  }
+}
+
+TEST(Generator, PaperStyleHighConfidenceRule) {
+  // "95% of customers who buy X buy Y": B appears in every transaction
+  // containing A (4 of 4) -> rule {A}=>{B} at confidence 1.0.
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kPltConditional);
+  RuleOptions options;
+  options.min_confidence = 0.99;
+  const auto rules = generate_rules(mined.itemsets, db.size(), options);
+  const bool found = std::any_of(rules.begin(), rules.end(),
+                                 [](const Rule& r) {
+                                   return r.antecedent == Itemset{1} &&
+                                          r.consequent == Itemset{2};
+                                 });
+  EXPECT_TRUE(found);
+}
+
+TEST(Generator, MaxRulesCapRespected) {
+  const auto db = plt::testing::paper_table1();
+  const auto mined = core::mine(db, 2, core::Algorithm::kPltConditional);
+  RuleOptions options;
+  options.min_confidence = 0.0;
+  options.max_rules = 3;
+  EXPECT_EQ(generate_rules(mined.itemsets, db.size(), options).size(), 3u);
+}
+
+TEST(Generator, NoRulesFromSingletonsOnly) {
+  core::FrequentItemsets frequent;
+  frequent.add(Itemset{1}, 5);
+  frequent.add(Itemset{2}, 4);
+  EXPECT_TRUE(generate_rules(frequent, 10, {}).empty());
+}
+
+TEST(Generator, RuleRendering) {
+  Rule rule;
+  rule.antecedent = {1, 2};
+  rule.consequent = {3};
+  rule.metrics = compute_metrics(3, 4, 5, 10);
+  const auto text = to_string(rule);
+  EXPECT_NE(text.find("{1,2} => {3}"), std::string::npos);
+  EXPECT_NE(text.find("conf=0.750"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plt::rules

@@ -1,0 +1,89 @@
+// Sliding-window miner: window semantics, eviction, and batch equivalence
+// at every point of a randomized stream.
+#include <gtest/gtest.h>
+
+#include "core/miner.hpp"
+#include "core/stream.hpp"
+#include "datagen/zipf.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+FrequentItemsets batch(const tdb::Database& db, Count minsup) {
+  return mine(db, minsup, Algorithm::kPltConditional).itemsets;
+}
+
+TEST(SlidingWindow, FillsThenSlides) {
+  SlidingWindowMiner window(3, 10);
+  window.push({1, 2});
+  window.push({1, 3});
+  EXPECT_EQ(window.size(), 2u);
+  window.push({1, 4});
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.item_support(1), 3u);
+  window.push({5, 6});  // evicts {1,2}
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.item_support(1), 2u);
+  EXPECT_EQ(window.item_support(2), 0u);
+  EXPECT_EQ(window.item_support(5), 1u);
+}
+
+TEST(SlidingWindow, MineMatchesBatchOfWindowContent) {
+  Rng rng(41);
+  SlidingWindowMiner window(50, 15);
+  std::vector<Item> row;
+  for (int t = 0; t < 400; ++t) {
+    row.clear();
+    for (Item i = 1; i <= 15; ++i)
+      if (rng.next_bool(0.25)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    window.push(row);
+    if (t % 57 == 0 && window.size() >= 5) {
+      plt::testing::expect_same_itemsets(
+          window.mine(3), batch(window.window_database(), 3), "window");
+    }
+  }
+  EXPECT_EQ(window.size(), 50u);
+  plt::testing::expect_same_itemsets(
+      window.mine(5), batch(window.window_database(), 5), "final window");
+}
+
+TEST(SlidingWindow, ConceptDrift) {
+  // Phase 1 floods {1,2}; phase 2 floods {3,4}. After the window fully
+  // turns over, phase-1 patterns must vanish.
+  SlidingWindowMiner window(20, 4);
+  for (int i = 0; i < 20; ++i) window.push({1, 2});
+  EXPECT_EQ(window.mine(15).find_support(Itemset{1, 2}), 20u);
+  for (int i = 0; i < 20; ++i) window.push({3, 4});
+  const auto mined = window.mine(15);
+  EXPECT_EQ(mined.find_support(Itemset{1, 2}), 0u);
+  EXPECT_EQ(mined.find_support(Itemset{3, 4}), 20u);
+}
+
+TEST(SlidingWindow, DuplicateAndEmptyPushes) {
+  SlidingWindowMiner window(4, 6);
+  window.push({2, 2, 1});  // dedup to {1,2}
+  window.push(std::span<const Item>{});  // ignored
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.mine(1).find_support(Itemset{1, 2}), 1u);
+}
+
+TEST(SlidingWindow, CapacityOne) {
+  SlidingWindowMiner window(1, 5);
+  window.push({1});
+  window.push({2});
+  EXPECT_EQ(window.size(), 1u);
+  EXPECT_EQ(window.item_support(1), 0u);
+  EXPECT_EQ(window.item_support(2), 1u);
+}
+
+TEST(SlidingWindow, MemoryReported) {
+  SlidingWindowMiner window(8, 8);
+  window.push({1, 2, 3});
+  EXPECT_GT(window.memory_usage(), 0u);
+}
+
+}  // namespace
+}  // namespace plt::core

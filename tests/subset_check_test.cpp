@@ -1,0 +1,99 @@
+// Positional subset checking: correctness of the streaming prefix-sum
+// inclusion test against std::includes, and support_of against full scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/builder.hpp"
+#include "core/subset_check.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+TEST(SubsetCheck, HandPickedCases) {
+  // {1,3} ⊆ {1,2,3}: [1,2] vs [1,1,1].
+  EXPECT_TRUE(positional_subset(PosVec{1, 2}, PosVec{1, 1, 1}));
+  // {2} ⊆ {1,2,3}.
+  EXPECT_TRUE(positional_subset(PosVec{2}, PosVec{1, 1, 1}));
+  // {4} ⊄ {1,2,3}.
+  EXPECT_FALSE(positional_subset(PosVec{4}, PosVec{1, 1, 1}));
+  // {1,4} ⊄ {1,2,3}.
+  EXPECT_FALSE(positional_subset(PosVec{1, 3}, PosVec{1, 1, 1}));
+  // Equal sets.
+  EXPECT_TRUE(positional_subset(PosVec{2, 1}, PosVec{2, 1}));
+  // Longer can't be a subset of shorter.
+  EXPECT_FALSE(positional_subset(PosVec{1, 1, 1}, PosVec{1, 2}));
+  // Empty set is a subset of anything.
+  EXPECT_TRUE(positional_subset(PosVec{}, PosVec{3}));
+  EXPECT_TRUE(positional_subset(PosVec{}, PosVec{}));
+}
+
+TEST(SubsetCheck, RandomizedAgainstStdIncludes) {
+  Rng rng(71);
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto make = [&](std::size_t max_size) {
+      std::vector<Rank> ranks;
+      Rank r = 0;
+      const auto n = rng.next_below(max_size + 1);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        r += static_cast<Rank>(rng.next_below(4) + 1);
+        ranks.push_back(r);
+      }
+      return ranks;
+    };
+    const auto x = make(6);
+    const auto y = make(10);
+    const bool expected =
+        std::includes(y.begin(), y.end(), x.begin(), x.end());
+    EXPECT_EQ(positional_subset(to_positions(x), to_positions(y)), expected);
+    EXPECT_EQ(ranks_subset_of(x, to_positions(y)), expected);
+  }
+}
+
+TEST(SubsetCheck, SupportQueriesAgree) {
+  Rng rng(73);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (int t = 0; t < 200; ++t) {
+    row.clear();
+    for (Item i = 1; i <= 14; ++i)
+      if (rng.next_bool(0.3)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  const auto view = build_ranked_view(db, 1);
+  const Plt plt = build_plt(view.db, static_cast<Rank>(view.alphabet()));
+
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Rank> query;
+    Rank r = 0;
+    const auto len = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      r += static_cast<Rank>(rng.next_below(4) + 1);
+      if (r > view.alphabet()) break;
+      query.push_back(r);
+    }
+    if (query.empty()) continue;
+    EXPECT_EQ(support_of(plt, query), support_of_scan(view.db, query));
+  }
+}
+
+TEST(SubsetCheck, EmptyQueryIsTotalMass) {
+  const auto db = tdb::Database::from_rows({{1, 2}, {2, 3}, {1}});
+  const auto view = build_ranked_view(db, 1);
+  const Plt plt = build_plt(view.db, 3);
+  EXPECT_EQ(support_of(plt, {}), 3u);
+}
+
+TEST(SubsetCheck, AggregatedDuplicatesCountFully) {
+  tdb::Database db;
+  for (int i = 0; i < 10; ++i) db.add({1, 2, 3});
+  const auto view = build_ranked_view(db, 1);
+  const Plt plt = build_plt(view.db, 3);
+  const std::vector<Rank> q{1, 3};
+  EXPECT_EQ(support_of(plt, q), 10u);
+}
+
+}  // namespace
+}  // namespace plt::core

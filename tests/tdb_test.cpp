@@ -1,0 +1,215 @@
+// Unit tests for the transactional-database substrate: storage, FIMI IO
+// (including failure injection), statistics, remapping, vertical layout.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tdb/database.hpp"
+#include "tdb/io.hpp"
+#include "tdb/remap.hpp"
+#include "tdb/stats.hpp"
+#include "tdb/vertical.hpp"
+
+namespace plt::tdb {
+namespace {
+
+TEST(Database, AddSortsAndDeduplicates) {
+  Database db;
+  db.add({5, 1, 3, 3, 1});
+  ASSERT_EQ(db.size(), 1u);
+  const auto t = db[0];
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1u);
+  EXPECT_EQ(t[1], 3u);
+  EXPECT_EQ(t[2], 5u);
+  EXPECT_EQ(db.max_item(), 5u);
+}
+
+TEST(Database, FromRowsAndEquality) {
+  const auto a = Database::from_rows({{1, 2}, {2, 3}});
+  const auto b = Database::from_rows({{2, 1}, {3, 2}});
+  EXPECT_TRUE(a == b);
+  const auto c = Database::from_rows({{1, 2}});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Database, ItemSupports) {
+  const auto db = Database::from_rows({{1, 2}, {2, 3}, {2}});
+  const auto supports = db.item_supports();
+  ASSERT_EQ(supports.size(), 4u);
+  EXPECT_EQ(supports[0], 0u);
+  EXPECT_EQ(supports[1], 1u);
+  EXPECT_EQ(supports[2], 3u);
+  EXPECT_EQ(supports[3], 1u);
+}
+
+TEST(Database, EmptyDatabase) {
+  Database db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.total_items(), 0u);
+  EXPECT_TRUE(db.item_supports().size() == 1u);
+}
+
+TEST(Io, RoundTrip) {
+  const auto db = Database::from_rows({{1, 5, 9}, {2}, {3, 4}});
+  std::ostringstream out;
+  write_fimi(db, out);
+  std::istringstream in(out.str());
+  const auto loaded = read_fimi(in);
+  EXPECT_TRUE(db == loaded);
+}
+
+TEST(Io, ParsesWhitespaceVariants) {
+  std::istringstream in("1  2\t3\n\n7\n");
+  const auto db = read_fimi(in);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].size(), 3u);
+  EXPECT_EQ(db[1].size(), 1u);
+}
+
+TEST(Io, RejectsNonNumericTokens) {
+  std::istringstream in("1 2\n3 x 4\n");
+  EXPECT_THROW(read_fimi(in), std::runtime_error);
+}
+
+TEST(Io, RejectsOverflowingIds) {
+  std::istringstream in("99999999999999999999\n");
+  EXPECT_THROW(read_fimi(in), std::runtime_error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_fimi_file("/nonexistent/path/data.dat"),
+               std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const auto db = Database::from_rows({{10, 20}, {30}});
+  const std::string path = ::testing::TempDir() + "/plt_io_test.dat";
+  write_fimi_file(db, path);
+  const auto loaded = read_fimi_file(path);
+  EXPECT_TRUE(db == loaded);
+}
+
+TEST(Stats, BasicShape) {
+  const auto db = Database::from_rows({{1, 2, 3}, {1, 2}, {9}});
+  const auto s = compute_stats(db);
+  EXPECT_EQ(s.transactions, 3u);
+  EXPECT_EQ(s.total_items, 6u);
+  EXPECT_EQ(s.distinct_items, 4u);
+  EXPECT_EQ(s.min_len, 1u);
+  EXPECT_EQ(s.max_len, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_len, 2.0);
+  EXPECT_DOUBLE_EQ(s.density, 0.5);
+  ASSERT_GE(s.length_histogram.size(), 4u);
+  EXPECT_EQ(s.length_histogram[1], 1u);
+  EXPECT_EQ(s.length_histogram[2], 1u);
+  EXPECT_EQ(s.length_histogram[3], 1u);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Stats, GiniZeroForUniformSupports) {
+  const auto db = Database::from_rows({{1, 2}, {1, 2}});
+  const auto s = compute_stats(db);
+  EXPECT_NEAR(s.support_gini, 0.0, 1e-12);
+}
+
+TEST(Stats, GiniGrowsWithSkew) {
+  const auto uniform = Database::from_rows({{1}, {2}, {3}, {4}});
+  Database skewed;
+  for (int i = 0; i < 97; ++i) skewed.add({1});
+  skewed.add({2});
+  skewed.add({3});
+  skewed.add({4});
+  EXPECT_GT(compute_stats(skewed).support_gini,
+            compute_stats(uniform).support_gini + 0.3);
+}
+
+TEST(Remap, FiltersInfrequentAndRenumbers) {
+  const auto db =
+      Database::from_rows({{1, 5, 9}, {1, 5}, {1, 9}, {1}, {7}});
+  const auto remap = build_remap(db, 2);
+  // Supports: 1->4, 5->2, 9->2, 7->1. Survivors by id: 1, 5, 9.
+  EXPECT_EQ(remap.alphabet_size(), 3u);
+  EXPECT_EQ(remap.map(1), std::optional<Item>(1));
+  EXPECT_EQ(remap.map(5), std::optional<Item>(2));
+  EXPECT_EQ(remap.map(9), std::optional<Item>(3));
+  EXPECT_EQ(remap.map(7), std::nullopt);
+  EXPECT_EQ(remap.map(100), std::nullopt);
+  EXPECT_EQ(remap.unmap(2), 5u);
+  EXPECT_EQ(remap.support[0], 4u);
+}
+
+TEST(Remap, FreqAscendingOrder) {
+  const auto db =
+      Database::from_rows({{1, 5, 9}, {1, 5}, {1, 9}, {1}, {9}});
+  // Supports: 1->4, 5->2, 9->3.
+  const auto remap = build_remap(db, 2, ItemOrder::kByFreqAscending);
+  EXPECT_EQ(remap.map(5), std::optional<Item>(1));  // least frequent first
+  EXPECT_EQ(remap.map(9), std::optional<Item>(2));
+  EXPECT_EQ(remap.map(1), std::optional<Item>(3));
+}
+
+TEST(Remap, FreqDescendingOrder) {
+  const auto db =
+      Database::from_rows({{1, 5, 9}, {1, 5}, {1, 9}, {1}, {9}});
+  const auto remap = build_remap(db, 2, ItemOrder::kByFreqDescending);
+  EXPECT_EQ(remap.map(1), std::optional<Item>(1));  // most frequent first
+  EXPECT_EQ(remap.map(9), std::optional<Item>(2));
+  EXPECT_EQ(remap.map(5), std::optional<Item>(3));
+}
+
+TEST(Remap, TiesBrokenByItemId) {
+  const auto db = Database::from_rows({{3, 7}, {3, 7}});
+  const auto remap = build_remap(db, 1, ItemOrder::kByFreqAscending);
+  EXPECT_EQ(remap.map(3), std::optional<Item>(1));
+  EXPECT_EQ(remap.map(7), std::optional<Item>(2));
+}
+
+TEST(Remap, ApplyDropsEmptyTransactions) {
+  const auto db = Database::from_rows({{1, 2}, {9}, {1}});
+  const auto remap = build_remap(db, 2);  // only item 1 survives
+  const auto mapped = apply_remap(db, remap);
+  ASSERT_EQ(mapped.size(), 2u);
+  EXPECT_EQ(mapped[0].size(), 1u);
+  EXPECT_EQ(mapped[0][0], 1u);
+}
+
+TEST(Remap, UnmapItemsetSortsOriginals) {
+  const auto db = Database::from_rows({{10, 20, 30}, {10, 20, 30}});
+  const auto remap = build_remap(db, 1, ItemOrder::kByFreqAscending);
+  const Itemset mapped{3, 1};
+  const auto original = unmap_itemset(remap, mapped);
+  ASSERT_EQ(original.size(), 2u);
+  EXPECT_LT(original[0], original[1]);
+}
+
+TEST(Vertical, TidsetsMatchDatabase) {
+  const auto db = Database::from_rows({{1, 3}, {2, 3}, {1, 2, 3}});
+  const VerticalView v(db);
+  EXPECT_EQ(v.transactions(), 3u);
+  const auto t1 = v.tidset(1);
+  ASSERT_EQ(t1.size(), 2u);
+  EXPECT_EQ(t1[0], 0u);
+  EXPECT_EQ(t1[1], 2u);
+  EXPECT_EQ(v.support(3), 3u);
+  EXPECT_EQ(v.support(99), 0u);  // out-of-range item -> empty
+}
+
+TEST(Vertical, IntersectAndDifference) {
+  const std::vector<Tid> a{1, 3, 5, 7};
+  const std::vector<Tid> b{3, 4, 5};
+  const auto inter = intersect(a, b);
+  EXPECT_EQ(inter, (std::vector<Tid>{3, 5}));
+  const auto diff = difference(a, b);
+  EXPECT_EQ(diff, (std::vector<Tid>{1, 7}));
+}
+
+TEST(Vertical, MemoryUsageIsPositive) {
+  const auto db = Database::from_rows({{1, 2, 3}});
+  const VerticalView v(db);
+  EXPECT_GT(v.memory_usage(), 0u);
+}
+
+}  // namespace
+}  // namespace plt::tdb

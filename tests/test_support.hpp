@@ -1,0 +1,39 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/itemset_collector.hpp"
+#include "tdb/database.hpp"
+
+namespace plt::testing {
+
+/// The paper's Table 1 database (items A..F mapped to 1..6; E=5, F=6 are
+/// infrequent at the paper's absolute support 2).
+inline tdb::Database paper_table1() {
+  constexpr Item A = 1, B = 2, C = 3, D = 4, E = 5, F = 6;
+  return tdb::Database::from_transactions({
+      {A, B, C},        // TID 1
+      {A, B, C},        // TID 2
+      {A, B, C, D},     // TID 3
+      {A, B, D, E},     // TID 4
+      {B, C, D},        // TID 5
+      {C, D, F},        // TID 6
+  });
+}
+
+/// Asserts two result sets are identical, with a readable diff on failure.
+inline void expect_same_itemsets(core::FrequentItemsets a,
+                                 core::FrequentItemsets b,
+                                 const char* label = "") {
+  a.canonicalize();
+  b.canonicalize();
+  if (core::FrequentItemsets::equal(a, b)) return;
+  ADD_FAILURE() << "itemset mismatch " << label << "\n--- first ---\n"
+                << a.to_string() << "--- second ---\n"
+                << b.to_string();
+}
+
+}  // namespace plt::testing

@@ -1,0 +1,173 @@
+// Top-down approach tests: variant equivalence, exactness of the expanded
+// subset table against brute-force counting, guard behaviour, and edge cases.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/brute.hpp"
+#include "core/miner.hpp"
+#include "core/subset_check.hpp"
+#include "core/topdown.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace plt::core {
+namespace {
+
+tdb::Database random_db(std::uint64_t seed, std::size_t transactions,
+                        std::size_t items, double density) {
+  Rng rng(seed);
+  tdb::Database db;
+  std::vector<Item> row;
+  for (std::size_t t = 0; t < transactions; ++t) {
+    row.clear();
+    for (Item i = 1; i <= items; ++i)
+      if (rng.next_bool(density)) row.push_back(i);
+    if (row.empty()) row.push_back(1);
+    db.add(row);
+  }
+  return db;
+}
+
+std::map<PosVec, Count> expand_to_map(const RankedView& view,
+                                      TopDownVariant variant) {
+  const Plt table = topdown_expand(view, variant);
+  std::map<PosVec, Count> out;
+  table.for_each([&](Plt::Ref, std::span<const Pos> v,
+                     const Partition::Entry& e) {
+    out.emplace(PosVec(v.begin(), v.end()), e.freq);
+  });
+  return out;
+}
+
+TEST(TopDown, VariantsProduceIdenticalTables) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto db = random_db(seed, 60, 10, 0.35);
+    const auto view = build_ranked_view(db, 2);
+    EXPECT_EQ(expand_to_map(view, TopDownVariant::kCanonical),
+              expand_to_map(view, TopDownVariant::kSweep))
+        << "seed " << seed;
+  }
+}
+
+// Exactness: every expanded vector's frequency equals the true support
+// counted directly on the ranked database.
+TEST(TopDown, ExpandedFrequenciesAreExactSupports) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const auto db = random_db(seed, 40, 9, 0.4);
+    const auto view = build_ranked_view(db, 1);
+    const auto table = expand_to_map(view, TopDownVariant::kCanonical);
+    for (const auto& [v, freq] : table) {
+      const auto ranks = to_ranks(v);
+      ASSERT_EQ(freq, support_of_scan(view.db, ranks))
+          << to_string(v) << " seed " << seed;
+    }
+  }
+}
+
+// Completeness: the expansion contains every subset of every transaction.
+TEST(TopDown, ExpansionIsComplete) {
+  const auto db = random_db(21, 25, 8, 0.5);
+  const auto view = build_ranked_view(db, 1);
+  const auto table = expand_to_map(view, TopDownVariant::kCanonical);
+  // Every itemset with nonzero support over the ranked db must be present.
+  const auto alphabet = static_cast<Rank>(view.alphabet());
+  std::vector<Rank> ranks;
+  const std::uint32_t limit = 1u << alphabet;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    ranks.clear();
+    for (Rank r = 1; r <= alphabet; ++r)
+      if (mask & (1u << (r - 1))) ranks.push_back(r);
+    const Count support = support_of_scan(view.db, ranks);
+    if (support == 0) continue;
+    const auto it = table.find(to_positions(ranks));
+    ASSERT_NE(it, table.end());
+    EXPECT_EQ(it->second, support);
+  }
+}
+
+TEST(TopDown, MiningMatchesBruteForce) {
+  for (std::uint64_t seed = 31; seed <= 35; ++seed) {
+    const auto db = random_db(seed, 50, 10, 0.3);
+    for (const Count minsup : {1u, 2u, 5u}) {
+      FrequentItemsets expected;
+      baselines::mine_brute_force(db, minsup, collect_into(expected));
+      const auto view = build_ranked_view(db, minsup);
+      FrequentItemsets actual;
+      mine_topdown(view, minsup, collect_into(actual));
+      plt::testing::expect_same_itemsets(expected, actual, "topdown");
+    }
+  }
+}
+
+TEST(TopDown, GuardRejectsLongTransactions) {
+  const auto db = random_db(41, 10, 30, 0.95);  // ~28-item transactions
+  const auto view = build_ranked_view(db, 1);
+  TopDownOptions options;
+  options.max_transaction_len = 20;
+  EXPECT_THROW(topdown_expand(view, TopDownVariant::kCanonical, options),
+               TopDownOverflow);
+}
+
+TEST(TopDown, GuardRejectsVectorBudgetBlowup) {
+  // 22-item transactions pass the length guard but overflow a tiny budget.
+  const auto db = random_db(43, 6, 22, 1.0);
+  const auto view = build_ranked_view(db, 1);
+  TopDownOptions options;
+  options.max_transaction_len = 24;
+  options.max_total_vectors = 1000;
+  EXPECT_THROW(topdown_expand(view, TopDownVariant::kSweep, options),
+               TopDownOverflow);
+}
+
+TEST(TopDown, FacadeReportsGuardThroughMineOptions) {
+  const auto db = random_db(47, 8, 30, 0.95);
+  MineOptions options;
+  options.topdown_max_transaction_len = 16;
+  EXPECT_THROW(mine(db, 1, Algorithm::kPltTopDownCanonical, options),
+               TopDownOverflow);
+}
+
+TEST(TopDown, EmptyAndDegenerateInputs) {
+  tdb::Database empty;
+  FrequentItemsets none;
+  mine_topdown(build_ranked_view(empty, 1), 1, collect_into(none));
+  EXPECT_TRUE(none.empty());
+
+  // All items infrequent at the threshold.
+  const auto db = tdb::Database::from_rows({{1}, {2}, {3}});
+  FrequentItemsets still_none;
+  mine_topdown(build_ranked_view(db, 2), 2, collect_into(still_none));
+  EXPECT_TRUE(still_none.empty());
+}
+
+TEST(TopDown, SingleItemDatabase) {
+  const auto db = tdb::Database::from_rows({{7}, {7}, {7}});
+  const auto view = build_ranked_view(db, 2);
+  FrequentItemsets result;
+  mine_topdown(view, 2, collect_into(result));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.find_support(Itemset{7}), 3u);
+}
+
+// The paper positions top-down for very low minimum support on dense short
+// transactions; make sure that regime actually completes and agrees.
+TEST(TopDown, ShortDenseLowSupportRegime) {
+  datagen::DenseConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 14;
+  cfg.density = 0.4;
+  cfg.classes = 2;
+  cfg.seed = 77;
+  const auto db = datagen::generate_dense(cfg);
+  FrequentItemsets expected;
+  baselines::mine_brute_force(db, 2, collect_into(expected));
+  const auto result = mine(db, 2, Algorithm::kPltTopDownSweep);
+  plt::testing::expect_same_itemsets(expected, result.itemsets,
+                                     "short-dense");
+}
+
+}  // namespace
+}  // namespace plt::core

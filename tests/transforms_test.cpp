@@ -1,0 +1,101 @@
+// Dataset transform tests: twin planting and transaction sampling.
+#include <gtest/gtest.h>
+
+#include "core/closed.hpp"
+#include "core/miner.hpp"
+#include "datagen/quest.hpp"
+#include "datagen/transforms.hpp"
+#include "test_support.hpp"
+
+namespace plt::datagen {
+namespace {
+
+TEST(Twins, TwinAlwaysCoOccurs) {
+  const auto db = tdb::Database::from_rows({{1, 2}, {2, 3}, {1, 3}});
+  const auto twinned = add_twin_items(db, {{1, 9}});
+  ASSERT_EQ(twinned.size(), 3u);
+  for (std::size_t t = 0; t < twinned.size(); ++t) {
+    const auto row = twinned[t];
+    const bool has1 = std::binary_search(row.begin(), row.end(), Item{1});
+    const bool has9 = std::binary_search(row.begin(), row.end(), Item{9});
+    EXPECT_EQ(has1, has9) << t;
+  }
+}
+
+TEST(Twins, ExistingTwinIdRemovedWhereGeneratorAbsent) {
+  // Twin id 3 already occurs on its own; after twinning to item 1 it must
+  // appear exactly where 1 does.
+  const auto db = tdb::Database::from_rows({{1, 2}, {3}, {1, 3}});
+  const auto twinned = add_twin_items(db, {{1, 3}});
+  EXPECT_EQ(twinned.size(), 2u);  // lone {3} becomes empty and is dropped
+  for (std::size_t t = 0; t < twinned.size(); ++t) {
+    const auto row = twinned[t];
+    EXPECT_TRUE(std::binary_search(row.begin(), row.end(), Item{1}));
+    EXPECT_TRUE(std::binary_search(row.begin(), row.end(), Item{3}));
+  }
+}
+
+TEST(Twins, TwinsCollapseUnderClosure) {
+  QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 20;
+  cfg.seed = 6;
+  const auto db = generate_quest(cfg);
+  const auto twinned = add_twin_items(db, {{1, 21}, {2, 22}});
+  const auto mined = core::mine(twinned, 5, core::Algorithm::kFpGrowth);
+  const auto closed = core::closed_itemsets(mined.itemsets);
+  // Twins only inflate the frequent set, never the closed set beyond the
+  // twin-free closure count (each closed set simply absorbs its twins).
+  const auto base_mined = core::mine(db, 5, core::Algorithm::kFpGrowth);
+  const auto base_closed = core::closed_itemsets(base_mined.itemsets);
+  EXPECT_EQ(closed.size(), base_closed.size());
+  EXPECT_GT(mined.itemsets.size(), base_mined.itemsets.size());
+}
+
+TEST(Twins, SelfTwinDies) {
+  const auto db = tdb::Database::from_rows({{1}});
+  EXPECT_DEATH(add_twin_items(db, {{1, 1}}), "twin");
+}
+
+TEST(Sampling, FractionZeroAndOne) {
+  const auto db = plt::testing::paper_table1();
+  EXPECT_EQ(sample_transactions(db, 0.0, 1).size(), 0u);
+  EXPECT_EQ(sample_transactions(db, 1.0, 1).size(), db.size());
+}
+
+TEST(Sampling, ApproximatesFractionAndIsDeterministic) {
+  QuestConfig cfg;
+  cfg.transactions = 5000;
+  cfg.seed = 2;
+  const auto db = generate_quest(cfg);
+  const auto a = sample_transactions(db, 0.3, 9);
+  const auto b = sample_transactions(db, 0.3, 9);
+  EXPECT_TRUE(a == b);
+  EXPECT_NEAR(static_cast<double>(a.size()), 1500.0, 150.0);
+  const auto c = sample_transactions(db, 0.3, 10);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Sampling, SampleMiningApproximatesFullMining) {
+  // Toivonen-style sanity: supports on a 50% sample, scaled x2, should be
+  // close to the full-database supports for high-support itemsets.
+  QuestConfig cfg;
+  cfg.transactions = 8000;
+  cfg.items = 60;
+  cfg.seed = 12;
+  const auto db = generate_quest(cfg);
+  const auto sample = sample_transactions(db, 0.5, 3);
+  const auto full = core::mine(db, 400, core::Algorithm::kPltConditional);
+  const auto sampled =
+      core::mine(sample, 150, core::Algorithm::kPltConditional);
+  for (std::size_t i = 0; i < full.itemsets.size(); ++i) {
+    const auto items = full.itemsets.itemset(i);
+    const double scaled =
+        2.0 * static_cast<double>(sampled.itemsets.find_support(items));
+    const auto truth = static_cast<double>(full.itemsets.support(i));
+    EXPECT_NEAR(scaled, truth, truth * 0.25 + 20.0);
+  }
+}
+
+}  // namespace
+}  // namespace plt::datagen

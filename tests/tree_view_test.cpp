@@ -1,0 +1,136 @@
+// Tests for the physical tree form (Figure 3(b)/Figure 1): construction
+// from the table form, lossless round trip, navigation, and the full
+// lexicographic tree's combinatorics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/builder.hpp"
+#include "core/tree_view.hpp"
+#include "test_support.hpp"
+
+namespace plt::core {
+namespace {
+
+std::map<PosVec, Count> plt_contents(const Plt& plt) {
+  std::map<PosVec, Count> out;
+  plt.for_each([&](Plt::Ref, std::span<const Pos> v,
+                   const Partition::Entry& e) {
+    out[PosVec(v.begin(), v.end())] = e.freq;
+  });
+  return out;
+}
+
+TEST(TreeView, PaperExampleTree) {
+  const auto built =
+      build_from_database(plt::testing::paper_table1(), 2);
+  const TreeView tree = TreeView::from_plt(built.plt);
+
+  // Paths of Figure 3(b): the five stored vectors share the [1,1] prefix
+  // where possible. Root -> 1 -> 1 -> 1 holds ABC (freq 2).
+  const auto abc = tree.find(PosVec{1, 1, 1});
+  ASSERT_NE(abc, TreeView::kRoot);
+  EXPECT_EQ(tree.node(abc).freq, 2u);
+  EXPECT_EQ(tree.node(abc).rank, 3u);
+
+  // ABCD extends the same path: one more child [1].
+  const auto abcd = tree.find(PosVec{1, 1, 1, 1});
+  ASSERT_NE(abcd, TreeView::kRoot);
+  EXPECT_EQ(tree.node(abcd).parent, abc);
+  EXPECT_EQ(tree.node(abcd).freq, 1u);
+
+  // Internal nodes carry zero frequency.
+  const auto ab = tree.find(PosVec{1, 1});
+  ASSERT_NE(ab, TreeView::kRoot);
+  EXPECT_EQ(tree.node(ab).freq, 0u);
+
+  EXPECT_EQ(tree.find(PosVec{4}), TreeView::kRoot);  // no such path
+}
+
+TEST(TreeView, RoundTripToPlt) {
+  const auto built =
+      build_from_database(plt::testing::paper_table1(), 2);
+  const TreeView tree = TreeView::from_plt(built.plt);
+  const Plt back = tree.to_plt(built.plt.max_rank());
+  EXPECT_EQ(plt_contents(back), plt_contents(built.plt));
+}
+
+TEST(TreeView, PathReconstruction) {
+  Plt plt(8);
+  plt.add(PosVec{2, 3, 1}, 4);
+  const TreeView tree = TreeView::from_plt(plt);
+  const auto id = tree.find(PosVec{2, 3, 1});
+  ASSERT_NE(id, TreeView::kRoot);
+  EXPECT_EQ(tree.path(id), (PosVec{2, 3, 1}));
+  EXPECT_EQ(tree.node(id).rank, 6u);
+}
+
+TEST(TreeView, ChildrenSortedByPosition) {
+  Plt plt(8);
+  plt.add(PosVec{3}, 1);
+  plt.add(PosVec{1}, 1);
+  plt.add(PosVec{2}, 1);
+  const TreeView tree = TreeView::from_plt(plt);
+  const auto& root_children = tree.node(TreeView::kRoot).children;
+  ASSERT_EQ(root_children.size(), 3u);
+  EXPECT_EQ(tree.node(root_children[0]).position, 1u);
+  EXPECT_EQ(tree.node(root_children[1]).position, 2u);
+  EXPECT_EQ(tree.node(root_children[2]).position, 3u);
+}
+
+TEST(TreeView, SharedPrefixesShareNodes) {
+  Plt plt(8);
+  plt.add(PosVec{1, 1, 1}, 1);
+  plt.add(PosVec{1, 1, 2}, 1);
+  plt.add(PosVec{1, 2}, 1);
+  const TreeView tree = TreeView::from_plt(plt);
+  // Nodes: [1], [1,1], [1,1,1], [1,1,2], [1,2] -> 5 (+ root).
+  EXPECT_EQ(tree.node_count(), 6u);
+}
+
+TEST(TreeView, FullLexicographicTreeNodeCount) {
+  // Figure 1's tree over n items has 2^n - 1 nodes (every non-empty subset).
+  for (const Rank n : {1u, 2u, 3u, 4u, 6u}) {
+    const TreeView tree = TreeView::full_lexicographic(n);
+    EXPECT_EQ(tree.node_count(), (1u << n)) << n;  // + root
+  }
+}
+
+TEST(TreeView, FullLexicographicFigure2Positions) {
+  const TreeView tree = TreeView::full_lexicographic(4);
+  // Node C under A (= path ranks {1,3}) sits at position 2 — the paper's
+  // Definition 4.1.2 example.
+  const auto a = tree.find(PosVec{1});
+  ASSERT_NE(a, TreeView::kRoot);
+  const auto c_under_a = tree.child(a, 2);
+  ASSERT_NE(c_under_a, TreeView::kRoot);
+  EXPECT_EQ(tree.node(c_under_a).rank, 3u);
+}
+
+TEST(TreeView, FullLexicographicGuard) {
+  EXPECT_DEATH(TreeView::full_lexicographic(17), "guarded");
+}
+
+TEST(TreeView, RenderingContainsStructure) {
+  Plt plt(4);
+  plt.add(PosVec{1, 2}, 7);
+  const TreeView tree = TreeView::from_plt(plt);
+  const auto text = tree.to_string();
+  EXPECT_NE(text.find("(root)"), std::string::npos);
+  EXPECT_NE(text.find("freq=7"), std::string::npos);
+  EXPECT_NE(text.find("rank 3"), std::string::npos);
+}
+
+TEST(TreeView, WalkDepths) {
+  Plt plt(4);
+  plt.add(PosVec{1, 1, 1}, 1);
+  const TreeView tree = TreeView::from_plt(plt);
+  std::vector<std::size_t> depths;
+  tree.walk([&](TreeView::NodeId, std::size_t depth) {
+    depths.push_back(depth);
+  });
+  EXPECT_EQ(depths, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace plt::core
