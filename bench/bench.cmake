@@ -29,3 +29,39 @@ plt_bench(bench_sampling)            # E13
 plt_bench(bench_filter_ablation)     # E14
 plt_bench(bench_candidate_family)    # E15
 plt_bench(bench_closed_native)       # E16
+plt_bench(bench_projection_pool)     # E17
+
+# Smoke run: every bench binary once at a tiny configuration — a cheap CI
+# guard that the whole bench suite still runs end to end. The subset-check
+# micro uses google-benchmark flags instead of --scale.
+set(PLT_BENCH_SMOKE_SCALE 0.05 CACHE STRING
+    "Scale factor bench_smoke passes to every sweep binary")
+# Toivonen's lowered sample threshold blows up combinatorially on very
+# small scaled datasets (the sample minsup floors near 1), so E13 gets a
+# larger floor than the rest of the suite.
+set(PLT_BENCH_SMOKE_SCALE_bench_sampling 0.5)
+set(PLT_BENCH_SMOKE_TARGETS
+  bench_paper_artifacts bench_structure_size bench_sparse_sweep
+  bench_dense_sweep bench_topdown_crossover bench_scalability
+  bench_parallel_partition bench_rank_ablation bench_condensed
+  bench_incremental bench_ooc_mining bench_stream bench_sampling
+  bench_filter_ablation bench_candidate_family bench_closed_native
+  bench_projection_pool)
+set(PLT_BENCH_SMOKE_COMMANDS "")
+foreach(target ${PLT_BENCH_SMOKE_TARGETS})
+  set(smoke_scale ${PLT_BENCH_SMOKE_SCALE})
+  if(DEFINED PLT_BENCH_SMOKE_SCALE_${target})
+    set(smoke_scale ${PLT_BENCH_SMOKE_SCALE_${target}})
+  endif()
+  list(APPEND PLT_BENCH_SMOKE_COMMANDS
+       COMMAND ${CMAKE_BINARY_DIR}/bench/${target}
+               --scale ${smoke_scale})
+endforeach()
+add_custom_target(bench_smoke
+  ${PLT_BENCH_SMOKE_COMMANDS}
+  COMMAND ${CMAKE_BINARY_DIR}/bench/bench_subset_check
+          --benchmark_min_time=0.01
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+  COMMENT "Running every bench binary at smoke scale"
+  VERBATIM)
+add_dependencies(bench_smoke ${PLT_BENCH_SMOKE_TARGETS} bench_subset_check)

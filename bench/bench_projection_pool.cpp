@@ -1,0 +1,189 @@
+// E17 — the allocation-free conditional projection engine: pooled iterative
+// Algorithm 3 (recycled PLT arenas, flat conditional-db buffer, explicit
+// stack) against the seed recursive path that allocates a fresh conditional
+// PLT per recursion node. Sweeps the dense datasets at falling support —
+// exactly the regime where the paper says conditional projections should be
+// cheapest — and records times plus the engine's recycling counters to a
+// BENCH_*.json so before/after is machine-readable. Exits non-zero if the
+// two paths ever disagree on the mined itemsets.
+#include <fstream>
+#include <iostream>
+
+#include "core/builder.hpp"
+#include "core/conditional.hpp"
+#include "core/projection_pool.hpp"
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "parallel/partition_miner.hpp"
+#include "util/args.hpp"
+#include "util/memory.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace plt;
+
+struct Row {
+  std::string dataset;
+  Count minsup = 0;
+  std::size_t frequent = 0;
+  double recursive_seconds = 0.0;
+  double pooled_seconds = 0.0;
+  core::ProjectionStats stats;
+};
+
+struct Prepared {
+  core::RankedView view;
+  std::vector<Item> item_of;
+};
+
+Prepared prepare(const tdb::Database& db, Count minsup) {
+  Prepared p;
+  p.view = core::build_ranked_view(db, minsup);
+  const auto max_rank = static_cast<Rank>(p.view.alphabet());
+  p.item_of.resize(max_rank);
+  for (Rank r = 1; r <= max_rank; ++r) p.item_of[r - 1] = p.view.item_of(r);
+  return p;
+}
+
+// Both paths re-build the PLT (mining consumes it) so the timed section is
+// mine-only and identical in inputs.
+double time_recursive(const Prepared& p, Count minsup,
+                      core::FrequentItemsets& out) {
+  core::Plt plt =
+      core::build_plt(p.view.db, static_cast<Rank>(p.view.alphabet()));
+  std::vector<Item> suffix;
+  Timer timer;
+  core::mine_plt_conditional_recursive(plt, p.item_of, suffix, minsup,
+                                       core::collect_into(out), {});
+  return timer.seconds();
+}
+
+double time_pooled(const Prepared& p, Count minsup,
+                   core::ProjectionEngine& engine,
+                   core::FrequentItemsets& out) {
+  core::Plt plt =
+      core::build_plt(p.view.db, static_cast<Rank>(p.view.alphabet()));
+  std::vector<Item> suffix;
+  Timer timer;
+  engine.mine(plt, p.item_of, suffix, minsup, core::collect_into(out), {});
+  return timer.seconds();
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                double scale) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E17\",\n"
+      << "  \"title\": \"allocation-free conditional projection engine\",\n"
+      << "  \"scale\": " << scale << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup =
+        r.pooled_seconds > 0 ? r.recursive_seconds / r.pooled_seconds : 0.0;
+    // The recursive path constructs one fresh conditional PLT per
+    // projection, so its allocation count IS projections_built.
+    const double alloc_reduction =
+        r.stats.fresh_allocations > 0
+            ? static_cast<double>(r.stats.projections_built) /
+                  static_cast<double>(r.stats.fresh_allocations)
+            : 0.0;
+    out << "    {\"dataset\": \"" << r.dataset << "\""
+        << ", \"minsup\": " << r.minsup
+        << ", \"frequent_itemsets\": " << r.frequent
+        << ", \"recursive_seconds\": " << r.recursive_seconds
+        << ", \"pooled_seconds\": " << r.pooled_seconds
+        << ", \"speedup\": " << speedup
+        << ", \"projections_built\": " << r.stats.projections_built
+        << ", \"entries_projected\": " << r.stats.entries_projected
+        << ", \"baseline_fresh_allocations\": " << r.stats.projections_built
+        << ", \"fresh_allocations\": " << r.stats.fresh_allocations
+        << ", \"recycled_allocations\": " << r.stats.recycled_allocations
+        << ", \"bytes_fresh\": " << r.stats.bytes_fresh
+        << ", \"bytes_recycled\": " << r.stats.bytes_recycled
+        << ", \"alloc_reduction\": " << alloc_reduction << "}"
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const std::string out_path =
+      args.get("out", "BENCH_projection_pool.json");
+
+  harness::print_banner(std::cout, "E17",
+                        "pooled projection engine vs recursive Algorithm 3",
+                        "section 6 (cheap conditional projections) — "
+                        "allocation recycling");
+
+  const struct {
+    const char* dataset;
+    std::vector<double> fractions;
+  } cases[] = {
+      {"chess-like", {0.90, 0.80, 0.70, 0.60}},
+      {"mushroom-like", {0.30, 0.20, 0.10}},
+  };
+
+  std::vector<Row> rows;
+  Table table({"dataset", "minsup", "frequent", "recursive", "pooled",
+               "speedup", "projections", "fresh", "recycled", "recycled B"});
+  bool all_agree = true;
+  for (const auto& c : cases) {
+    const auto db = harness::scaled_dataset(c.dataset, scale);
+    for (const Count minsup : harness::support_grid(db, c.fractions)) {
+      const Prepared p = prepare(db, minsup);
+      if (p.view.alphabet() == 0) continue;
+
+      core::FrequentItemsets recursive_out;
+      const double recursive_seconds =
+          time_recursive(p, minsup, recursive_out);
+
+      // Fresh engine per cell: the counters then describe exactly this
+      // workload (first-touch pool misses included).
+      core::ProjectionEngine engine;
+      core::FrequentItemsets pooled_out;
+      const double pooled_seconds =
+          time_pooled(p, minsup, engine, pooled_out);
+
+      if (!core::FrequentItemsets::equal(recursive_out, pooled_out)) {
+        std::cerr << "DISAGREEMENT at " << c.dataset << " minsup=" << minsup
+                  << "\n";
+        all_agree = false;
+      }
+
+      Row row;
+      row.dataset = c.dataset;
+      row.minsup = minsup;
+      row.frequent = pooled_out.size();
+      row.recursive_seconds = recursive_seconds;
+      row.pooled_seconds = pooled_seconds;
+      row.stats = engine.stats();
+      rows.push_back(row);
+
+      table.add_row(
+          {row.dataset, std::to_string(minsup), std::to_string(row.frequent),
+           format_duration(recursive_seconds), format_duration(pooled_seconds),
+           pooled_seconds > 0
+               ? std::to_string(recursive_seconds / pooled_seconds)
+               : "-",
+           std::to_string(row.stats.projections_built),
+           std::to_string(row.stats.fresh_allocations),
+           std::to_string(row.stats.recycled_allocations),
+           format_bytes(row.stats.bytes_recycled)});
+    }
+  }
+  std::cout << table.to_text();
+
+  write_json(out_path, rows, scale);
+  std::cout << "\nWrote " << out_path << ".\n"
+            << "Expected shape: the recursive baseline pays one fresh PLT\n"
+            << "(arenas + hash indexes + buckets) per projection; the pooled\n"
+            << "engine pays one per depth, so fresh allocations collapse by\n"
+            << "orders of magnitude and mine time improves as support falls\n"
+            << "(more projections, deeper chains, warmer pool).\n";
+  return all_agree ? 0 : 1;
+}

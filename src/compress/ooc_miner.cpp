@@ -5,6 +5,7 @@
 
 #include "compress/varint.hpp"
 #include "core/conditional.hpp"
+#include "core/projection_pool.hpp"
 
 namespace plt::compress {
 
@@ -87,6 +88,9 @@ void mine_from_blob(std::span<const std::uint8_t> blob,
   core::PosVec scratch;
   Itemset suffix;
   core::ConditionalOptions options;
+  // One engine for the whole blob: every rank's conditional PLT recycles
+  // the same pooled frames.
+  core::ProjectionEngine engine;
 
   for (Rank j = index.max_rank; j >= 1; --j) {
     Count support = 0;
@@ -123,8 +127,8 @@ void mine_from_blob(std::span<const std::uint8_t> blob,
         std::vector<Item> child_item_of(child.to_parent.size());
         for (std::size_t c = 0; c < child.to_parent.size(); ++c)
           child_item_of[c] = item_of[child.to_parent[c] - 1];
-        core::mine_plt_conditional(child.plt, child_item_of, suffix,
-                                   min_support, sink, options);
+        engine.mine(child.plt, child_item_of, suffix, min_support, sink,
+                    options);
       }
     }
     suffix.pop_back();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/builder.hpp"
+#include "core/projection_pool.hpp"
 
 namespace plt::core {
 
@@ -52,12 +53,9 @@ ConditionalProjection make_conditional_plt(
 std::vector<std::pair<PosVec, Count>> conditional_database(const Plt& plt,
                                                            Rank j) {
   std::vector<std::pair<PosVec, Count>> cond;
-  for (const Plt::Ref ref : plt.bucket(j)) {
-    const auto v = plt.positions(ref);
-    const auto& e = plt.entry(ref);
-    if (v.size() > 1)
-      cond.emplace_back(PosVec(v.begin(), v.end() - 1), e.freq);
-  }
+  for_each_bucket_prefix(plt, j, [&](std::span<const Pos> prefix, Count freq) {
+    cond.emplace_back(PosVec(prefix.begin(), prefix.end()), freq);
+  });
   return cond;
 }
 
@@ -65,26 +63,27 @@ void mine_plt_conditional(Plt& plt, const std::vector<Item>& item_of,
                           std::vector<Item>& suffix, Count min_support,
                           const ItemsetSink& sink,
                           const ConditionalOptions& options) {
+  ProjectionEngine engine;
+  engine.mine(plt, item_of, suffix, min_support, sink, options);
+}
+
+void mine_plt_conditional_recursive(Plt& plt,
+                                    const std::vector<Item>& item_of,
+                                    std::vector<Item>& suffix,
+                                    Count min_support, const ItemsetSink& sink,
+                                    const ConditionalOptions& options) {
   std::vector<std::pair<PosVec, Count>> cond;
-  PosVec scratch;
   Itemset emitted;
   for (Rank j = plt.max_rank(); j >= 1; --j) {
-    const auto bucket = plt.bucket(j);
-    if (bucket.empty()) continue;
-    Count support = 0;
+    if (plt.bucket(j).empty()) continue;
     cond.clear();
-    for (const Plt::Ref ref : bucket) {
-      const auto& e = plt.entry(ref);
-      support += e.freq;
-      if (ref.length > 1 && e.freq > 0) {
-        const auto v = plt.positions(ref);
-        scratch.assign(v.begin(), v.end() - 1);
-        cond.emplace_back(scratch, e.freq);
-        // Algorithm 3's "Update PLT with V'": lower ranks must see this
-        // transaction with item j peeled off.
-        plt.add(scratch, e.freq);
-      }
-    }
+    const Count support = for_each_bucket_prefix(
+        plt, j, [&](std::span<const Pos> prefix, Count freq) {
+          cond.emplace_back(PosVec(prefix.begin(), prefix.end()), freq);
+          // Algorithm 3's "Update PLT with V'": lower ranks must see this
+          // transaction with item j peeled off.
+          plt.add(cond.back().first, freq);
+        });
     if (support < min_support) continue;  // anti-monotone cut
 
     suffix.push_back(item_of[j - 1]);
@@ -100,8 +99,8 @@ void mine_plt_conditional(Plt& plt, const std::vector<Item>& item_of,
         std::vector<Item> child_item_of(child.to_parent.size());
         for (std::size_t c = 0; c < child.to_parent.size(); ++c)
           child_item_of[c] = item_of[child.to_parent[c] - 1];
-        mine_plt_conditional(child.plt, child_item_of, suffix, min_support,
-                             sink, options);
+        mine_plt_conditional_recursive(child.plt, child_item_of, suffix,
+                                       min_support, sink, options);
       }
     }
     suffix.pop_back();

@@ -30,11 +30,43 @@ void mine_conditional(const RankedView& view, Count min_support,
 /// Lower-level entry point shared by the parallel partition miner, the
 /// incremental store and the out-of-core blob miner: mines `plt` (consumed)
 /// whose local rank r reports as original item `item_of[r-1]`, with
-/// `suffix` (original item ids) already fixed.
+/// `suffix` (original item ids) already fixed. Runs on a pooled
+/// ProjectionEngine (see core/projection_pool.hpp); callers that mine many
+/// PLTs should hold an engine themselves and call its mine() directly so
+/// projection arenas recycle across calls.
 void mine_plt_conditional(Plt& plt, const std::vector<Item>& item_of,
                           std::vector<Item>& suffix, Count min_support,
                           const ItemsetSink& sink,
                           const ConditionalOptions& options);
+
+/// The original recursive Algorithm 3, which builds a fresh conditional PLT
+/// (new arenas, hash indexes, sum buckets) at every recursion node. Kept as
+/// the reference implementation: differential tests and the E17 bench pin
+/// the pooled engine against it.
+void mine_plt_conditional_recursive(Plt& plt,
+                                    const std::vector<Item>& item_of,
+                                    std::vector<Item>& suffix,
+                                    Count min_support, const ItemsetSink& sink,
+                                    const ConditionalOptions& options);
+
+/// The one bucket traversal behind Algorithm 3's "extract CD_j" step, shared
+/// by conditional_database(), the recursive reference miner and the pooled
+/// engine: visits the prefix of every projectable entry of bucket `j`
+/// (length > 1, freq > 0) and returns the bucket's total frequency mass,
+/// which is support(suffix ∪ {j}).
+template <typename Fn>  // Fn(std::span<const Pos> prefix, Count freq)
+Count for_each_bucket_prefix(const Plt& plt, Rank j, Fn&& fn) {
+  Count support = 0;
+  for (const Plt::Ref ref : plt.bucket(j)) {
+    const auto& e = plt.entry(ref);
+    support += e.freq;
+    if (ref.length > 1 && e.freq > 0) {
+      const auto v = plt.positions(ref);
+      fn(v.first(v.size() - 1), e.freq);
+    }
+  }
+  return support;
+}
 
 /// A conditional PLT plus the translation from its compact local ranks back
 /// to the parent's ranks.

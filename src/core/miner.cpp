@@ -73,7 +73,9 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
       std::vector<Item> item_of(max_rank);
       for (Rank r = 1; r <= max_rank; ++r) item_of[r - 1] = view.item_of(r);
       std::vector<Item> suffix;
-      mine_plt_conditional(plt, item_of, suffix, min_support, sink, cond);
+      ProjectionEngine engine;
+      engine.mine(plt, item_of, suffix, min_support, sink, cond);
+      result.projection = engine.stats();
       result.mine_seconds = mine_timer.seconds();
       break;
     }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/itemset_collector.hpp"
+#include "core/projection_pool.hpp"
 #include "tdb/database.hpp"
 #include "tdb/remap.hpp"
 
@@ -45,6 +46,9 @@ struct MineResult {
   double build_seconds = 0.0;  ///< structure construction (incl. first scan)
   double mine_seconds = 0.0;   ///< enumeration
   std::size_t structure_bytes = 0;  ///< logical footprint of the built index
+  /// Projection-engine counters (zero for algorithms that don't project
+  /// through the pooled engine — baselines, top-down).
+  ProjectionStats projection;
 };
 
 /// Mines `db` at absolute support `min_support` with the chosen algorithm.

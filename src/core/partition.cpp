@@ -1,5 +1,6 @@
 #include "core/partition.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace plt::core {
@@ -79,6 +80,19 @@ Partition::EntryId Partition::add(std::span<const Pos> v, Count freq,
   index_[slot] = id + 1;
   created = true;
   return id;
+}
+
+std::size_t Partition::reset() {
+  arena_.clear();
+  entries_.clear();
+  std::fill(index_.begin(), index_.end(), 0u);
+  return memory_usage();
+}
+
+void Partition::reserve(std::size_t entries) {
+  entries_.reserve(entries);
+  arena_.reserve(entries * length_);
+  while (over_loaded(entries, index_.size())) grow_index();
 }
 
 void Partition::grow_index() {

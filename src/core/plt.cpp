@@ -37,6 +37,35 @@ Count Plt::freq_of(std::span<const Pos> v) const {
   return id == Partition::kNoEntry ? 0 : partitions_[k - 1].entry(id).freq;
 }
 
+std::size_t Plt::reset(Rank max_rank) {
+  PLT_ASSERT(max_rank >= 1, "a PLT needs at least one rank");
+  max_rank_ = max_rank;
+  std::size_t retained = 0;
+  for (auto& p : partitions_) retained += p.reset();
+  // Buckets beyond the new alphabet are kept (empty) so their capacity
+  // survives a later reset to a wider alphabet.
+  if (buckets_.size() < max_rank_) buckets_.resize(max_rank_);
+  for (auto& b : buckets_) {
+    b.clear();
+    retained += b.capacity() * sizeof(Ref);
+  }
+  return retained;
+}
+
+void Plt::reserve_for_merge(const Plt& source) {
+  for (std::uint32_t k = 1; k <= source.partitions_.size(); ++k) {
+    const Partition& src = source.partitions_[k - 1];
+    if (src.empty()) continue;
+    while (partitions_.size() < k)
+      partitions_.emplace_back(
+          static_cast<std::uint32_t>(partitions_.size() + 1));
+    partitions_[k - 1].reserve(partitions_[k - 1].size() + src.size());
+  }
+  for (Rank s = 1; s <= source.max_rank_ && s <= max_rank_; ++s)
+    buckets_[s - 1].reserve(buckets_[s - 1].size() +
+                            source.buckets_[s - 1].size());
+}
+
 const Partition* Plt::partition(std::uint32_t length) const {
   if (length == 0 || length > partitions_.size()) return nullptr;
   return &partitions_[length - 1];

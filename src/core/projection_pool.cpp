@@ -1,0 +1,142 @@
+#include "core/projection_pool.hpp"
+
+#include <algorithm>
+
+namespace plt::core {
+
+void ProjectionStats::merge(const ProjectionStats& other) {
+  projections_built += other.projections_built;
+  entries_projected += other.entries_projected;
+  recycled_allocations += other.recycled_allocations;
+  fresh_allocations += other.fresh_allocations;
+  bytes_recycled += other.bytes_recycled;
+  bytes_fresh += other.bytes_fresh;
+  steals += other.steals;
+}
+
+ProjectionEngine::Frame& ProjectionEngine::acquire(std::size_t depth) {
+  if (depth >= pool_.size()) {
+    pool_.push_back(std::make_unique<Frame>());
+    ++stats_.fresh_allocations;
+  } else {
+    ++stats_.recycled_allocations;
+  }
+  return *pool_[depth];
+}
+
+bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
+                                    Count min_support, bool filter_items,
+                                    const std::vector<Item>& parent_items) {
+  // Local support of every parent rank appearing in the conditional db.
+  support_.assign(parent_max, 0);
+  for (const FlatCondDb::Record& r : cond_.records()) {
+    Rank acc = 0;
+    for (const Pos p : cond_.positions(r)) {
+      acc += p;
+      support_[acc - 1] += r.freq;
+    }
+  }
+
+  const Count keep_threshold = filter_items ? min_support : 1;
+  to_child_.assign(parent_max, 0);
+  frame.item_of.clear();
+  Rank child_ranks = 0;
+  for (Rank r = 1; r <= parent_max; ++r) {
+    if (support_[r - 1] >= keep_threshold && support_[r - 1] > 0) {
+      to_child_[r - 1] = ++child_ranks;
+      frame.item_of.push_back(parent_items[r - 1]);
+    }
+  }
+  if (child_ranks == 0) return false;
+
+  const std::size_t retained = frame.plt.reset(child_ranks);
+  stats_.bytes_recycled += retained;
+  for (const FlatCondDb::Record& rec : cond_.records()) {
+    mapped_.clear();
+    Rank acc = 0;
+    Rank prev_child = 0;
+    for (const Pos p : cond_.positions(rec)) {
+      acc += p;
+      const Rank c = to_child_[acc - 1];
+      if (c == 0) continue;  // filtered item
+      mapped_.push_back(c - prev_child);
+      prev_child = c;
+    }
+    if (!mapped_.empty()) frame.plt.add(mapped_, rec.freq);
+  }
+  ++stats_.projections_built;
+  const std::size_t now = frame.plt.memory_usage();
+  if (now > retained) stats_.bytes_fresh += now - retained;
+  return true;
+}
+
+void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
+                            std::vector<Item>& suffix, Count min_support,
+                            const ItemsetSink& sink,
+                            const ConditionalOptions& options) {
+  // One level per projection depth. Level 0 borrows the caller's PLT;
+  // deeper levels point into the pool. `j` is the rank the level will
+  // process next (Algorithm 3 walks ranks high to low).
+  struct Level {
+    Plt* plt;
+    const std::vector<Item>* items;
+    Rank j;
+  };
+  std::vector<Level> stack;
+  stack.push_back({&plt, &item_of, plt.max_rank()});
+
+  while (!stack.empty()) {
+    Level& top = stack.back();
+    if (top.j == 0) {
+      stack.pop_back();
+      // A child level was spawned after its parent pushed item j onto the
+      // suffix; finishing the child finishes that rank of the parent.
+      if (!stack.empty()) suffix.pop_back();
+      continue;
+    }
+    const Rank j = top.j--;
+    Plt& p = *top.plt;
+    if (p.bucket(j).empty()) continue;
+
+    cond_.clear();
+    const Count support = for_each_bucket_prefix(
+        p, j, [&](std::span<const Pos> prefix, Count freq) {
+          // Peel once into the flat buffer; the stored span serves both the
+          // working-PLT update ("Update PLT with V'") and the projection.
+          const auto stored = cond_.push(prefix, freq);
+          p.add(stored, freq);
+        });
+    stats_.entries_projected += cond_.size();
+    if (support < min_support) continue;  // anti-monotone cut
+
+    suffix.push_back((*top.items)[j - 1]);
+    emitted_ = suffix;
+    std::sort(emitted_.begin(), emitted_.end());
+    sink(emitted_, support);
+
+    if (!cond_.empty()) {
+      Frame& frame = acquire(stack.size() - 1);
+      if (project_into(frame, j, min_support,
+                       options.filter_conditional_items, *top.items)) {
+        stack.push_back(
+            {&frame.plt, &frame.item_of, frame.plt.max_rank()});
+        continue;  // the suffix item stays pushed while the child mines
+      }
+    }
+    suffix.pop_back();
+  }
+}
+
+std::size_t ProjectionEngine::memory_usage() const {
+  std::size_t bytes = 0;
+  for (const auto& frame : pool_)
+    bytes += frame->plt.memory_usage() +
+             frame->item_of.capacity() * sizeof(Item);
+  bytes += support_.capacity() * sizeof(Count) +
+           to_child_.capacity() * sizeof(Rank) +
+           mapped_.capacity() * sizeof(Pos) +
+           emitted_.capacity() * sizeof(Item);
+  return bytes;
+}
+
+}  // namespace plt::core

@@ -1,0 +1,128 @@
+// The allocation-free conditional projection engine. The paper's central
+// performance claim (§6) is that conditional mining is cheap because each
+// projection is a small flat matrix — but a naive Algorithm 3 spends its
+// time allocating those matrices: a fresh Plt (partition arenas, hash
+// indexes, sum buckets) plus one heap PosVec per conditional-db entry at
+// every recursion node. This engine removes all of that from the steady
+// state:
+//
+//   * FlatCondDb — the conditional database is one contiguous Pos arena
+//     plus (offset, len, freq) records; prefixes are peeled exactly once.
+//   * a depth-indexed pool of recycled Plt frames — mining is DFS, so at
+//     most one projection per depth is live; frame d is reset() (capacity
+//     retained) and reused by every node at depth d.
+//   * an explicit stack replaces the C++ call stack, so projection state
+//     lives in the pool and deep conditional chains cannot overflow.
+//
+// After warm-up the only allocations are capacity growth on workloads
+// bigger than anything seen before — the ProjectionStats counters make
+// that visible (and bench_projection_pool records it).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/conditional.hpp"
+#include "core/plt.hpp"
+
+namespace plt::core {
+
+/// Cheap engine counters, surfaced through MineResult and BENCH JSON.
+struct ProjectionStats {
+  std::uint64_t projections_built = 0;  ///< conditional PLTs constructed
+  std::uint64_t entries_projected = 0;  ///< prefixes peeled into flat cond DBs
+  /// Frame acquisitions served by recycling an existing pool frame vs by
+  /// constructing a new one. The seed recursive path performs one fresh
+  /// allocation per projection, so `projections_built - fresh_allocations`
+  /// projections stopped paying for construction.
+  std::uint64_t recycled_allocations = 0;
+  std::uint64_t fresh_allocations = 0;
+  std::uint64_t bytes_recycled = 0;  ///< capacity retained across frame reuse
+  std::uint64_t bytes_fresh = 0;     ///< capacity newly grown inside frames
+  std::uint64_t steals = 0;  ///< work-stealing miner: chunks taken from peers
+
+  void merge(const ProjectionStats& other);
+};
+
+/// Flat conditional database: one contiguous Pos arena plus per-entry
+/// (offset, len, freq) records — replaces vector<pair<PosVec, Count>> so a
+/// whole conditional db costs zero allocations once capacity is warm.
+class FlatCondDb {
+ public:
+  struct Record {
+    std::uint32_t offset;
+    std::uint32_t len;
+    Count freq;
+  };
+
+  void clear() {
+    arena_.clear();
+    records_.clear();
+  }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Appends one prefix; the returned span (into the arena) stays valid
+  /// until the next push.
+  std::span<const Pos> push(std::span<const Pos> prefix, Count freq) {
+    const auto offset = static_cast<std::uint32_t>(arena_.size());
+    arena_.insert(arena_.end(), prefix.begin(), prefix.end());
+    records_.push_back(
+        {offset, static_cast<std::uint32_t>(prefix.size()), freq});
+    return {arena_.data() + offset, prefix.size()};
+  }
+
+  std::span<const Pos> positions(const Record& r) const {
+    return {arena_.data() + r.offset, r.len};
+  }
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Pos> arena_;
+  std::vector<Record> records_;
+};
+
+/// The pooled, iterative Algorithm 3. One engine per thread; reuse it across
+/// many mine() calls (the parallel partition miner holds one per worker) so
+/// every projection after the first few recycles warm arenas.
+class ProjectionEngine {
+ public:
+  /// Mines `plt` (consumed, same contract as mine_plt_conditional): every
+  /// frequent extension of `suffix` is reported through `sink` in original
+  /// item ids, exactly like the recursive reference path.
+  void mine(Plt& plt, const std::vector<Item>& item_of,
+            std::vector<Item>& suffix, Count min_support,
+            const ItemsetSink& sink, const ConditionalOptions& options);
+
+  const ProjectionStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Heap bytes currently held by the pooled frames and scratch buffers.
+  std::size_t memory_usage() const;
+
+ private:
+  /// One recycled projection frame: the conditional PLT for a depth plus
+  /// its local-rank -> original-item translation.
+  struct Frame {
+    Plt plt{1};
+    std::vector<Item> item_of;
+  };
+
+  Frame& acquire(std::size_t depth);
+  /// Projects cond_ (vectors over parent ranks 1..parent_max) into `frame`,
+  /// filtering and compacting ranks exactly like make_conditional_plt.
+  /// Returns false when no rank survives (nothing to mine below).
+  bool project_into(Frame& frame, Rank parent_max, Count min_support,
+                    bool filter_items, const std::vector<Item>& parent_items);
+
+  std::vector<std::unique_ptr<Frame>> pool_;  ///< pool_[d] = depth d+1 frame
+  FlatCondDb cond_;
+  std::vector<Count> support_;  ///< scratch: local support per parent rank
+  std::vector<Rank> to_child_;  ///< scratch: parent rank -> child rank
+  PosVec mapped_;               ///< scratch: one re-mapped child vector
+  Itemset emitted_;             ///< scratch: sorted itemset handed to sinks
+  ProjectionStats stats_;
+};
+
+}  // namespace plt::core

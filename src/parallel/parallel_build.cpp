@@ -10,6 +10,7 @@ namespace plt::parallel {
 void merge_plt(core::Plt& target, const core::Plt& source) {
   PLT_ASSERT(target.max_rank() == source.max_rank(),
              "cannot merge PLTs over different alphabets");
+  target.reserve_for_merge(source);
   source.for_each([&](core::Plt::Ref, std::span<const Pos> v,
                       const core::Partition::Entry& e) {
     if (e.freq > 0) target.add(v, e.freq);
@@ -54,12 +55,29 @@ core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
     }));
   }
 
-  core::Plt merged = futures.front().get();
-  for (std::size_t f = 1; f < futures.size(); ++f) {
-    const core::Plt local = futures[f].get();
-    merge_plt(merged, local);
+  std::vector<core::Plt> locals;
+  locals.reserve(futures.size());
+  for (auto& f : futures) locals.push_back(f.get());
+
+  // Pairwise tree merge: lg(chunks) rounds, the merges of each round run
+  // concurrently on the pool, so high thread counts are no longer bound by
+  // one serial merge into the first chunk.
+  while (locals.size() > 1) {
+    std::vector<std::future<void>> merges;
+    for (std::size_t i = 0; i + 1 < locals.size(); i += 2) {
+      merges.push_back(pool.submit(
+          [&locals, i] { merge_plt(locals[i], locals[i + 1]); }));
+    }
+    for (auto& m : merges) m.get();
+    // Survivors are the even indices (a trailing unpaired chunk passes
+    // through untouched).
+    std::vector<core::Plt> next;
+    next.reserve((locals.size() + 1) / 2);
+    for (std::size_t i = 0; i < locals.size(); i += 2)
+      next.push_back(std::move(locals[i]));
+    locals = std::move(next);
   }
-  return merged;
+  return std::move(locals.front());
 }
 
 }  // namespace plt::parallel

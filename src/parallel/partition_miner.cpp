@@ -1,12 +1,25 @@
 #include "parallel/partition_miner.hpp"
 
-#include <mutex>
+#include <atomic>
+#include <thread>
 
 #include "core/builder.hpp"
-#include "util/thread_pool.hpp"
+#include "core/projection_pool.hpp"
 #include "util/timer.hpp"
 
 namespace plt::parallel {
+
+namespace {
+
+// Per-worker claim window over the rank index space. Owners and thieves both
+// claim through the atomic cursor, so an index is mined by exactly one
+// worker. alignas keeps adjacent windows off one cache line.
+struct alignas(64) ClaimWindow {
+  std::atomic<std::size_t> next{0};
+  std::size_t end = 0;
+};
+
+}  // namespace
 
 core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
                                const ParallelOptions& options) {
@@ -46,34 +59,97 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
   for (const auto& p : partitions) result.structure_bytes += p.memory_usage();
 
   Timer mine_timer;
-  std::mutex merge_mutex;
-  {
-    ThreadPool pool(options.threads);
-    for (Rank j = 1; j <= max_rank; ++j) {
-      pool.submit([&, j] {
-        core::FrequentItemsets local;
-        const auto sink = core::collect_into(local);
-        // The 1-itemset {j} is frequent by construction of the view.
-        const Itemset single = core::ranks_to_items(
-            view, std::span<const Rank>(&j, 1));
-        sink(single, view.support_of(j));
+  // Ranks are raw view ranks in every subproblem, so one shared translation
+  // covers all of them (each CD_j only uses ranks < j).
+  std::vector<Item> item_of(max_rank);
+  for (Rank r = 1; r <= max_rank; ++r) item_of[r - 1] = view.item_of(r);
 
-        core::Plt& cd = partitions[j - 1];
-        if (cd.num_vectors() > 0) {
-          std::vector<Item> item_of(cd.max_rank());
-          for (Rank r = 1; r <= cd.max_rank(); ++r)
-            item_of[r - 1] = view.item_of(r);
-          std::vector<Item> suffix = {view.item_of(j)};
-          core::mine_plt_conditional(cd, item_of, suffix, min_support, sink,
-                                     options.conditional);
+  // Per-rank result slots: each is written by exactly one worker, then
+  // concatenated in rank order — deterministic output with no merge mutex.
+  std::vector<core::FrequentItemsets> per_rank(max_rank);
+
+  const std::size_t workers = options.threads;
+  const std::size_t steal_chunk = std::max<std::size_t>(1, options.steal_chunk);
+  std::vector<ClaimWindow> windows(workers);
+  const std::size_t per_worker = (max_rank + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = std::min<std::size_t>(w * per_worker, max_rank);
+    windows[w].next.store(begin, std::memory_order_relaxed);
+    windows[w].end = std::min<std::size_t>(begin + per_worker, max_rank);
+  }
+
+  const auto mine_rank = [&](std::size_t idx,
+                             core::ProjectionEngine& engine) {
+    const Rank j = static_cast<Rank>(idx + 1);
+    const auto sink = core::collect_into(per_rank[idx]);
+    // The 1-itemset {j} is frequent by construction of the view.
+    const Itemset single =
+        core::ranks_to_items(view, std::span<const Rank>(&j, 1));
+    sink(single, view.support_of(j));
+
+    core::Plt& cd = partitions[idx];
+    if (cd.num_vectors() > 0) {
+      std::vector<Item> suffix = {view.item_of(j)};
+      engine.mine(cd, item_of, suffix, min_support, sink,
+                  options.conditional);
+    }
+  };
+
+  std::vector<core::ProjectionStats> worker_stats(workers);
+  {
+    std::vector<std::thread> crew;
+    crew.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      crew.emplace_back([&, w] {
+        core::ProjectionEngine engine;
+        std::uint64_t steals = 0;
+        // Drain the worker's own window.
+        ClaimWindow& own = windows[w];
+        for (;;) {
+          const std::size_t idx =
+              own.next.fetch_add(1, std::memory_order_relaxed);
+          if (idx >= own.end) break;
+          mine_rank(idx, engine);
         }
-        std::lock_guard<std::mutex> lock(merge_mutex);
-        for (std::size_t i = 0; i < local.size(); ++i)
-          result.itemsets.add(local.itemset(i), local.support(i));
+        // Then steal chunks from whichever peer has the most left.
+        for (;;) {
+          std::size_t victim = workers;
+          std::size_t best_remaining = 0;
+          for (std::size_t p = 0; p < workers; ++p) {
+            if (p == w) continue;
+            const std::size_t cursor =
+                windows[p].next.load(std::memory_order_relaxed);
+            const std::size_t remaining =
+                cursor < windows[p].end ? windows[p].end - cursor : 0;
+            if (remaining > best_remaining) {
+              best_remaining = remaining;
+              victim = p;
+            }
+          }
+          if (victim == workers) break;  // everyone is drained
+          ClaimWindow& vw = windows[victim];
+          const std::size_t got =
+              vw.next.fetch_add(steal_chunk, std::memory_order_relaxed);
+          if (got >= vw.end) continue;  // lost the race; rescan
+          ++steals;
+          const std::size_t hi = std::min(vw.end, got + steal_chunk);
+          for (std::size_t idx = got; idx < hi; ++idx) mine_rank(idx, engine);
+        }
+        worker_stats[w] = engine.stats();
+        worker_stats[w].steals = steals;
       });
     }
-    pool.wait_idle();
+    for (auto& t : crew) t.join();
   }
+
+  // Deterministic ordered merge: rank order regardless of which worker
+  // mined what.
+  for (std::size_t idx = 0; idx < per_rank.size(); ++idx) {
+    const core::FrequentItemsets& local = per_rank[idx];
+    for (std::size_t i = 0; i < local.size(); ++i)
+      result.itemsets.add(local.itemset(i), local.support(i));
+  }
+  for (const auto& stats : worker_stats) result.projection.merge(stats);
   result.mine_seconds = mine_timer.seconds();
   return result;
 }

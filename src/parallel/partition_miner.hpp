@@ -6,7 +6,14 @@
 // rank j is derivable from transaction prefixes alone, so the per-item
 // subproblems {mine everything whose highest rank is j} are fully
 // independent. We materialize each CD_j in one shared pass over the ranked
-// database and mine the subproblems on a thread pool, merging the results.
+// database and mine the subproblems with a crew of workers over a
+// work-stealing claim queue: each worker drains its own contiguous window of
+// ranks through an atomic cursor and, when empty, steals chunks from the
+// fullest peer window — no mutex anywhere on the hot path. Every worker owns
+// a pooled ProjectionEngine, so conditional projections recycle arenas
+// across all the subproblems that worker touches. Results land in per-rank
+// slots (each written by exactly one worker) and are concatenated in rank
+// order afterwards, so the output is byte-identical for every thread count.
 #pragma once
 
 #include "core/conditional.hpp"
@@ -18,10 +25,15 @@ struct ParallelOptions {
   std::size_t threads = 2;
   core::ConditionalOptions conditional;
   tdb::ItemOrder item_order = tdb::ItemOrder::kById;
+  /// Ranks taken per steal once a worker's own window is empty. Small keeps
+  /// the tail balanced; large amortizes the (cheap) claim contention.
+  std::size_t steal_chunk = 4;
 };
 
 /// Mines all frequent itemsets of `db`; result is identical (after
-/// canonicalization) to the sequential conditional miner's.
+/// canonicalization) to the sequential conditional miner's, and identical
+/// byte-for-byte across thread counts. MineResult::projection aggregates the
+/// per-worker engine counters, including the steal count.
 core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
                                const ParallelOptions& options = {});
 
