@@ -25,7 +25,8 @@ struct ItemsetHash {
 }  // namespace
 
 void mine_ais(const tdb::Database& db, Count min_support,
-              const ItemsetSink& sink, BaselineStats* stats) {
+              const ItemsetSink& sink, BaselineStats* stats,
+              const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap = tdb::build_remap(db, min_support);
@@ -53,6 +54,7 @@ void mine_ais(const tdb::Database& db, Count min_support,
 
   std::size_t peak_bytes = 0;
   while (!frontier.empty()) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     // One scan: every frontier itemset contained in a transaction spawns
     // counted extensions by the transaction's items beyond its maximum —
     // the AIS on-the-fly generation (no join, no subset prune).

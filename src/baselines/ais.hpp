@@ -11,6 +11,7 @@
 namespace plt::baselines {
 
 void mine_ais(const tdb::Database& db, Count min_support,
-              const ItemsetSink& sink, BaselineStats* stats = nullptr);
+              const ItemsetSink& sink, BaselineStats* stats = nullptr,
+              const MiningControl* control = nullptr);
 
 }  // namespace plt::baselines

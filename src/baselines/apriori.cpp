@@ -173,7 +173,8 @@ class CandidateTrie {
 }  // namespace
 
 void mine_apriori(const tdb::Database& db, Count min_support,
-                  const ItemsetSink& sink, BaselineStats* stats) {
+                  const ItemsetSink& sink, BaselineStats* stats,
+                  const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap = tdb::build_remap(db, min_support);
@@ -196,6 +197,7 @@ void mine_apriori(const tdb::Database& db, Count min_support,
   Itemset original;
   std::size_t peak_bytes = 0;
   while (!current.empty()) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     // Report this level.
     for (std::size_t i = 0; i < current.size(); ++i) {
       if (current.counts[i] < min_support) continue;
@@ -287,7 +289,8 @@ Level keep_frequent(const Level& level, Count min_support) {
 }  // namespace
 
 void mine_apriori_tid(const tdb::Database& db, Count min_support,
-                      const ItemsetSink& sink, BaselineStats* stats) {
+                      const ItemsetSink& sink, BaselineStats* stats,
+                      const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap = tdb::build_remap(db, min_support);
@@ -321,6 +324,7 @@ void mine_apriori_tid(const tdb::Database& db, Count min_support,
   std::vector<Item> scratch;
   std::size_t peak_bytes = 0;
   while (frequent_prev.size() >= 2) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     TidCandidates candidates = generate_candidates_tid(frequent_prev,
                                                        scratch);
     if (candidates.level.empty()) break;
@@ -384,7 +388,7 @@ void mine_apriori_tid(const tdb::Database& db, Count min_support,
 
 void mine_dhp(const tdb::Database& db, Count min_support,
               const ItemsetSink& sink, BaselineStats* stats,
-              std::size_t hash_buckets) {
+              std::size_t hash_buckets, const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   PLT_ASSERT(hash_buckets >= 2, "need at least two hash buckets");
   Timer build_timer;
@@ -425,6 +429,7 @@ void mine_dhp(const tdb::Database& db, Count min_support,
   std::size_t peak_bytes = 0;
   std::size_t pruned_by_hash = 0;
   while (!current.empty()) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     report_level(current, remap, min_support, sink, original);
     Level survivors = keep_frequent(current, min_support);
     if (survivors.size() < 2) break;

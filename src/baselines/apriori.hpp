@@ -9,7 +9,8 @@
 namespace plt::baselines {
 
 void mine_apriori(const tdb::Database& db, Count min_support,
-                  const ItemsetSink& sink, BaselineStats* stats = nullptr);
+                  const ItemsetSink& sink, BaselineStats* stats = nullptr,
+                  const MiningControl* control = nullptr);
 
 /// AprioriTid (same paper, [2]): after the first pass, counting never
 /// touches the raw database again — each transaction is replaced by the set
@@ -17,7 +18,8 @@ void mine_apriori(const tdb::Database& db, Count min_support,
 /// those sets. Wins when the encoded sets shrink quickly.
 void mine_apriori_tid(const tdb::Database& db, Count min_support,
                       const ItemsetSink& sink,
-                      BaselineStats* stats = nullptr);
+                      BaselineStats* stats = nullptr,
+                      const MiningControl* control = nullptr);
 
 /// DHP (Park, Chen & Yu, SIGMOD'95 — the paper's reference [5]): Apriori
 /// with a hash filter — while counting pass k, every (k+1)-subset of each
@@ -26,6 +28,7 @@ void mine_apriori_tid(const tdb::Database& db, Count min_support,
 /// counting.
 void mine_dhp(const tdb::Database& db, Count min_support,
               const ItemsetSink& sink, BaselineStats* stats = nullptr,
-              std::size_t hash_buckets = 1 << 16);
+              std::size_t hash_buckets = 1 << 16,
+              const MiningControl* control = nullptr);
 
 }  // namespace plt::baselines

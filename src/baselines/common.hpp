@@ -3,12 +3,14 @@
 // the same ItemsetSink the PLT miners use, so results are interchangeable.
 #pragma once
 
+#include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
 #include "tdb/database.hpp"
 
 namespace plt::baselines {
 
 using core::ItemsetSink;
+using core::MiningControl;
 
 /// Timing/size accounting filled in by each baseline when requested.
 struct BaselineStats {

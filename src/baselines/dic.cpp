@@ -34,7 +34,7 @@ struct Tracked {
 
 void mine_dic(const tdb::Database& db, Count min_support,
               const ItemsetSink& sink, BaselineStats* stats,
-              const DicOptions& options) {
+              const DicOptions& options, const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   PLT_ASSERT(options.block_size >= 1, "block size must be >= 1");
   Timer build_timer;
@@ -112,6 +112,7 @@ void mine_dic(const tdb::Database& db, Count min_support,
   std::size_t peak_bytes = 0;
   // Cycle blocks until every tracked itemset has seen the whole database.
   for (;;) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     std::vector<std::size_t> dashed;
     for (std::size_t id = 0; id < tracked.size(); ++id)
       if (!tracked[id].complete) dashed.push_back(id);

@@ -22,6 +22,7 @@ struct DicOptions {
 
 void mine_dic(const tdb::Database& db, Count min_support,
               const ItemsetSink& sink, BaselineStats* stats = nullptr,
-              const DicOptions& options = {});
+              const DicOptions& options = {},
+              const MiningControl* control = nullptr);
 
 }  // namespace plt::baselines

@@ -16,6 +16,15 @@ struct Ctx {
   const ItemsetSink& sink;
   Itemset scratch;
   std::size_t peak_bytes = 0;
+  const MiningControl* control = nullptr;
+  bool stopped = false;
+
+  bool check_stop() {
+    if (stopped) return true;
+    if (control != nullptr && control->should_stop(peak_bytes))
+      stopped = true;
+    return stopped;
+  }
 
   void emit(const std::vector<Item>& suffix, Count support) {
     scratch.clear();
@@ -42,6 +51,7 @@ void eclat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
                Ctx& ctx) {
   ctx.peak_bytes = std::max(ctx.peak_bytes, class_bytes(members));
   for (std::size_t a = 0; a < members.size(); ++a) {
+    if (ctx.check_stop()) return;
     prefix.push_back(members[a].item);
     ctx.emit(prefix, members[a].support);
     std::vector<Member> child;
@@ -54,6 +64,7 @@ void eclat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
     }
     if (!child.empty()) eclat_rec(prefix, child, ctx);
     prefix.pop_back();
+    if (ctx.stopped) return;
   }
 }
 
@@ -63,6 +74,7 @@ void declat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
                 Ctx& ctx) {
   ctx.peak_bytes = std::max(ctx.peak_bytes, class_bytes(members));
   for (std::size_t a = 0; a < members.size(); ++a) {
+    if (ctx.check_stop()) return;
     prefix.push_back(members[a].item);
     ctx.emit(prefix, members[a].support);
     std::vector<Member> child;
@@ -75,12 +87,13 @@ void declat_rec(std::vector<Item>& prefix, const std::vector<Member>& members,
     }
     if (!child.empty()) declat_rec(prefix, child, ctx);
     prefix.pop_back();
+    if (ctx.stopped) return;
   }
 }
 
 void mine_vertical(const tdb::Database& db, Count min_support,
                    const ItemsetSink& sink, BaselineStats* stats,
-                   bool diffsets) {
+                   bool diffsets, const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap = tdb::build_remap(db, min_support);
@@ -92,13 +105,14 @@ void mine_vertical(const tdb::Database& db, Count min_support,
   }
 
   Timer mine_timer;
-  Ctx ctx{remap, min_support, sink, {}, 0};
+  Ctx ctx{remap, min_support, sink, {}, 0, control, false};
   std::vector<Item> prefix;
 
   if (diffsets) {
     // Top level still uses tidsets; the first projection switches to diffs:
     // d(XY) = t(X) \ t(Y), support = |t(X)| - |d(XY)|.
     for (Item a = 1; a <= static_cast<Item>(remap.alphabet_size()); ++a) {
+      if (ctx.check_stop()) break;
       const auto ta = vertical.tidset(a);
       prefix.push_back(a);
       ctx.emit(prefix, ta.size());
@@ -132,13 +146,15 @@ void mine_vertical(const tdb::Database& db, Count min_support,
 }  // namespace
 
 void mine_eclat(const tdb::Database& db, Count min_support,
-                const ItemsetSink& sink, BaselineStats* stats) {
-  mine_vertical(db, min_support, sink, stats, /*diffsets=*/false);
+                const ItemsetSink& sink, BaselineStats* stats,
+                const MiningControl* control) {
+  mine_vertical(db, min_support, sink, stats, /*diffsets=*/false, control);
 }
 
 void mine_declat(const tdb::Database& db, Count min_support,
-                 const ItemsetSink& sink, BaselineStats* stats) {
-  mine_vertical(db, min_support, sink, stats, /*diffsets=*/true);
+                 const ItemsetSink& sink, BaselineStats* stats,
+                 const MiningControl* control) {
+  mine_vertical(db, min_support, sink, stats, /*diffsets=*/true, control);
 }
 
 }  // namespace plt::baselines

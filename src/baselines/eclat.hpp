@@ -10,9 +10,11 @@
 namespace plt::baselines {
 
 void mine_eclat(const tdb::Database& db, Count min_support,
-                const ItemsetSink& sink, BaselineStats* stats = nullptr);
+                const ItemsetSink& sink, BaselineStats* stats = nullptr,
+                const MiningControl* control = nullptr);
 
 void mine_declat(const tdb::Database& db, Count min_support,
-                 const ItemsetSink& sink, BaselineStats* stats = nullptr);
+                 const ItemsetSink& sink, BaselineStats* stats = nullptr,
+                 const MiningControl* control = nullptr);
 
 }  // namespace plt::baselines

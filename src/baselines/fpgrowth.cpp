@@ -87,6 +87,8 @@ struct MineCtx {
   std::vector<Item> suffix;  // remapped ids, grown towards the root
   Itemset scratch;
   std::size_t peak_bytes = 0;
+  const MiningControl* control = nullptr;
+  bool stopped = false;
 
   void emit(Count support) {
     scratch.clear();
@@ -122,6 +124,11 @@ void mine_tree(const FpTree& tree, MineCtx& ctx) {
   std::vector<Item> reversed_path;
   std::vector<std::pair<std::vector<Item>, Count>> pattern_base;
   for (Item item = static_cast<Item>(tree.alphabet()); item >= 1; --item) {
+    if (ctx.stopped) return;
+    if (ctx.control != nullptr && ctx.control->should_stop(ctx.peak_bytes)) {
+      ctx.stopped = true;
+      return;
+    }
     const Count support = tree.item_count(item);
     if (support < ctx.min_support) continue;
     ctx.suffix.push_back(item);
@@ -161,6 +168,7 @@ void mine_tree(const FpTree& tree, MineCtx& ctx) {
       if (cond_tree.node_count() > 0) mine_tree(cond_tree, ctx);
     }
     ctx.suffix.pop_back();
+    if (ctx.stopped) return;
   }
 }
 
@@ -174,7 +182,8 @@ FpTree build_initial_tree(const tdb::Database& mapped,
 }  // namespace
 
 void mine_fpgrowth(const tdb::Database& db, Count min_support,
-                   const ItemsetSink& sink, BaselineStats* stats) {
+                   const ItemsetSink& sink, BaselineStats* stats,
+                   const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap =
@@ -187,7 +196,7 @@ void mine_fpgrowth(const tdb::Database& db, Count min_support,
   }
 
   Timer mine_timer;
-  MineCtx ctx{remap, min_support, sink, {}, {}, 0};
+  MineCtx ctx{remap, min_support, sink, {}, {}, 0, control, false};
   if (remap.alphabet_size() > 0) mine_tree(tree, ctx);
   if (stats) {
     stats->mine_seconds = mine_timer.seconds();

@@ -10,7 +10,8 @@
 namespace plt::baselines {
 
 void mine_fpgrowth(const tdb::Database& db, Count min_support,
-                   const ItemsetSink& sink, BaselineStats* stats = nullptr);
+                   const ItemsetSink& sink, BaselineStats* stats = nullptr,
+                   const MiningControl* control = nullptr);
 
 /// Size in bytes of the initial FP-tree built for `db` at `min_support`
 /// (node storage + header table). Used by the structure-size experiment E1.

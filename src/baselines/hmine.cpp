@@ -26,6 +26,8 @@ struct Ctx {
   std::vector<Item> prefix;  // remapped ids, ascending
   Itemset scratch;
   std::size_t peak_cursors = 0;
+  const MiningControl* control = nullptr;
+  bool stopped = false;
 
   void emit(Count support) {
     scratch.clear();
@@ -50,6 +52,12 @@ void mine_projection(Ctx& ctx, const std::vector<Cursor>& cursors) {
 
   std::vector<Cursor> child;
   for (Item ext = 1; ext < local_count.size(); ++ext) {
+    if (ctx.stopped) return;
+    if (ctx.control != nullptr &&
+        ctx.control->should_stop(ctx.peak_cursors * sizeof(Cursor))) {
+      ctx.stopped = true;
+      return;
+    }
     const Count support = local_count[ext];
     if (support < ctx.min_support) continue;
     ctx.prefix.push_back(ext);
@@ -71,13 +79,15 @@ void mine_projection(Ctx& ctx, const std::vector<Cursor>& cursors) {
     }
     if (!child.empty()) mine_projection(ctx, child);
     ctx.prefix.pop_back();
+    if (ctx.stopped) return;
   }
 }
 
 }  // namespace
 
 void mine_hmine(const tdb::Database& db, Count min_support,
-                const ItemsetSink& sink, BaselineStats* stats) {
+                const ItemsetSink& sink, BaselineStats* stats,
+                const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   Timer build_timer;
   const auto remap = tdb::build_remap(db, min_support);
@@ -92,8 +102,8 @@ void mine_hmine(const tdb::Database& db, Count min_support,
   }
 
   Timer mine_timer;
-  Ctx ctx{mapped, remap, min_support, sink, remap.alphabet_size(), {}, {},
-          0};
+  Ctx ctx{mapped,  remap, min_support, sink, remap.alphabet_size(), {}, {},
+          0,       control, false};
   std::vector<Cursor> top;
   top.reserve(mapped.size());
   for (std::uint32_t t = 0; t < mapped.size(); ++t) top.push_back({t, 0});

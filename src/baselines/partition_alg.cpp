@@ -25,7 +25,8 @@ struct ItemsetHash {
 
 void mine_partition(const tdb::Database& db, Count min_support,
                     const ItemsetSink& sink, BaselineStats* stats,
-                    const PartitionOptions& options) {
+                    const PartitionOptions& options,
+                    const MiningControl* control) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   PLT_ASSERT(options.partitions >= 1, "need at least one partition");
   Timer mine_timer;
@@ -43,7 +44,10 @@ void mine_partition(const tdb::Database& db, Count min_support,
   // the local frequents into the global candidate set.
   std::unordered_set<Itemset, ItemsetHash> candidate_set;
   std::size_t peak_bytes = 0;
+  core::MineOptions chunk_options;
+  chunk_options.control = control;
   for (std::size_t c = 0; c < chunks; ++c) {
+    if (control != nullptr && control->should_stop(peak_bytes)) break;
     const std::size_t begin = c * per_chunk;
     const std::size_t end = std::min(n, begin + per_chunk);
     if (begin >= end) break;
@@ -52,13 +56,24 @@ void mine_partition(const tdb::Database& db, Count min_support,
     const auto local_minsup = std::max<Count>(
         1, static_cast<Count>(
                std::ceil(relative * static_cast<double>(chunk.size()))));
-    const auto local =
-        core::mine(chunk, local_minsup, core::Algorithm::kPltConditional);
+    const auto local = core::mine(chunk, local_minsup,
+                                  core::Algorithm::kPltConditional,
+                                  chunk_options);
     peak_bytes = std::max(peak_bytes, local.structure_bytes);
+    if (local.status != core::MineStatus::kCompleted) break;
     for (std::size_t i = 0; i < local.itemsets.size(); ++i) {
       const auto z = local.itemsets.itemset(i);
       candidate_set.insert(Itemset(z.begin(), z.end()));
     }
+  }
+  // Stopped runs skip the exact pass: locally-frequent candidates carry
+  // estimated counts only, so emitting them would report wrong supports.
+  if (control != nullptr && control->should_stop(peak_bytes)) {
+    if (stats) {
+      stats->mine_seconds = mine_timer.seconds();
+      stats->structure_bytes = peak_bytes;
+    }
+    return;
   }
 
   // Phase 2: one exact counting pass over the whole database.

@@ -17,6 +17,7 @@ struct PartitionOptions {
 
 void mine_partition(const tdb::Database& db, Count min_support,
                     const ItemsetSink& sink, BaselineStats* stats = nullptr,
-                    const PartitionOptions& options = {});
+                    const PartitionOptions& options = {},
+                    const MiningControl* control = nullptr);
 
 }  // namespace plt::baselines

@@ -1,0 +1,111 @@
+#include "compress/blob_format.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "compress/varint.hpp"
+#include "util/crc32c.hpp"
+
+namespace plt::compress {
+
+namespace {
+
+[[noreturn]] void fail(const char* who, const std::string& what) {
+  throw std::runtime_error(std::string(who) + ": " + what);
+}
+
+}  // namespace
+
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xff));
+}
+
+std::uint32_t read_u32le(std::span<const std::uint8_t> bytes,
+                         std::size_t offset, const char* who) {
+  if (offset + 4 > bytes.size()) fail(who, "truncated checksum");
+  return static_cast<std::uint32_t>(bytes[offset]) |
+         (static_cast<std::uint32_t>(bytes[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[offset + 3]) << 24);
+}
+
+BlobHeader read_blob_header(std::span<const std::uint8_t> blob,
+                            const char* who) {
+  if (blob.size() < 4) fail(who, "bad magic");
+  BlobHeader header;
+  if (std::memcmp(blob.data(), kMagicV1, 4) == 0)
+    header.version = 1;
+  else if (std::memcmp(blob.data(), kMagicV2, 4) == 0)
+    header.version = 2;
+  else
+    fail(who, "bad magic");
+
+  std::size_t offset = 4;
+  const std::uint64_t raw_max_rank = get_varint(blob, offset);
+  // Format limit: alphabets beyond 2^26 are rejected — a corrupted header
+  // must not trigger a multi-gigabyte bucket allocation.
+  if (raw_max_rank == 0 || raw_max_rank > (1u << 26))
+    fail(who, "max_rank out of range");
+  header.max_rank = static_cast<Rank>(raw_max_rank);
+  header.partitions = get_varint(blob, offset);
+
+  if (header.version == 2) {
+    const std::uint32_t stored = read_u32le(blob, offset, who);
+    const std::uint32_t actual = crc32c(blob.subspan(4, offset - 4));
+    note_crc32c_verification();
+    if (stored != actual) fail(who, "header checksum mismatch");
+    offset += 4;
+  }
+  // Each partition frame costs at least two varint bytes, so a count beyond
+  // the blob size is certainly corrupt — reject before any loop trusts it.
+  if (header.partitions > blob.size())
+    fail(who, "partition count exceeds blob size");
+  header.body_offset = offset;
+  return header;
+}
+
+PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
+                                    std::size_t& offset,
+                                    const BlobHeader& header,
+                                    const char* who) {
+  PartitionFrame frame;
+  const std::size_t frame_begin = offset;
+  const std::uint64_t raw_length = get_varint(blob, offset);
+  if (raw_length == 0 || raw_length > header.max_rank)
+    fail(who, "invalid partition length");
+  frame.length = static_cast<std::uint32_t>(raw_length);
+  frame.entries = get_varint(blob, offset);
+
+  if (header.version == 1) {
+    // No payload extent and no checksum: a minimum-footprint bound (each
+    // entry needs at least length+1 bytes) is the only defense against an
+    // absurd entry count driving a huge reserve.
+    if (frame.entries > (blob.size() - offset) / (frame.length + 1))
+      fail(who, "entry count exceeds blob size");
+    frame.payload_begin = offset;
+    frame.payload_end = 0;
+    return frame;
+  }
+
+  const std::uint64_t payload_len = get_varint(blob, offset);
+  if (payload_len > blob.size() - offset)
+    fail(who, "partition payload runs past the blob");
+  // Every entry needs at least length position bytes plus one freq byte.
+  if (frame.entries > payload_len / (frame.length + 1))
+    fail(who, "entry count exceeds payload size");
+  frame.payload_begin = offset;
+  frame.payload_end = offset + payload_len;
+
+  const std::uint32_t stored = read_u32le(blob, frame.payload_end, who);
+  const std::uint32_t actual =
+      crc32c(blob.subspan(frame_begin, frame.payload_end - frame_begin));
+  note_crc32c_verification();
+  if (stored != actual) fail(who, "partition checksum mismatch");
+  return frame;
+}
+
+}  // namespace plt::compress

@@ -1,0 +1,69 @@
+// Shared parsing for the serialized-PLT container formats.
+//
+// PLT1 (legacy, still decoded):
+//   "PLT1" | varint max_rank | varint partition_count
+//   per partition: varint length | varint entry_count | entries
+//
+// PLT2 (current, written by encode_plt): every section carries a CRC32C so
+// single-byte corruption, truncation and torn writes are detected before
+// any value is trusted:
+//   "PLT2" | varint max_rank | varint partition_count |
+//   u32le CRC32C(header varints)
+//   per partition: varint length | varint entry_count | varint payload_len |
+//                  payload | u32le CRC32C(framing varints + payload)
+// `payload` is the entry stream (length positions + freq, all varints).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/plt.hpp"
+
+namespace plt::compress {
+
+inline constexpr char kMagicV1[4] = {'P', 'L', 'T', '1'};
+inline constexpr char kMagicV2[4] = {'P', 'L', 'T', '2'};
+
+/// Appends `value` little-endian (the fixed-width CRC slot).
+void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t value);
+
+/// Reads a little-endian u32 at `offset`; throws std::runtime_error when it
+/// would run past the end of `bytes`.
+std::uint32_t read_u32le(std::span<const std::uint8_t> bytes,
+                         std::size_t offset, const char* who);
+
+struct BlobHeader {
+  int version = 2;  ///< 1 or 2
+  Rank max_rank = 0;
+  std::uint64_t partitions = 0;
+  std::size_t body_offset = 0;  ///< first partition frame
+};
+
+/// Parses and validates a blob header: magic, max_rank range limit and (v2)
+/// the header CRC, so a corrupted header can never drive a huge allocation.
+/// `who` prefixes error messages. Throws std::runtime_error.
+BlobHeader read_blob_header(std::span<const std::uint8_t> blob,
+                            const char* who);
+
+struct PartitionFrame {
+  std::uint32_t length = 0;
+  std::uint64_t entries = 0;
+  std::size_t payload_begin = 0;
+  /// One past the entry stream. 0 for v1 frames (extent only known after
+  /// decoding); v2 callers must land exactly here and then skip the 4 CRC
+  /// bytes.
+  std::size_t payload_end = 0;
+};
+
+/// Parses the partition frame at `offset`, advancing it to the payload
+/// start. For v2 the frame CRC is verified and the declared payload length
+/// is bounds-checked against both the blob size and the minimum entry
+/// footprint (each entry costs at least length+1 bytes) before anything is
+/// decoded. Throws std::runtime_error.
+PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
+                                    std::size_t& offset,
+                                    const BlobHeader& header,
+                                    const char* who);
+
+}  // namespace plt::compress

@@ -1,91 +1,102 @@
 #include "compress/codec.hpp"
 
-#include <cstring>
+#include <cstdio>
 #include <stdexcept>
 
+#include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
 #include "tdb/database.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace plt::compress {
 
-namespace {
-constexpr char kMagic[4] = {'P', 'L', 'T', '1'};
-}
-
 std::vector<std::uint8_t> encode_plt(const core::Plt& plt) {
+  PLT_FAILPOINT("codec.encode");
   std::vector<std::uint8_t> out;
   out.reserve(64);
-  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  for (const char c : kMagicV2) out.push_back(static_cast<std::uint8_t>(c));
   put_varint(out, plt.max_rank());
 
   std::uint32_t partitions = 0;
   for (std::uint32_t k = 1; k <= plt.max_len(); ++k)
     if (plt.partition(k) && !plt.partition(k)->empty()) ++partitions;
   put_varint(out, partitions);
+  append_u32le(out, crc32c(std::span<const std::uint8_t>(out).subspan(4)));
 
+  std::vector<std::uint8_t> payload;
   for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
     const core::Partition* p = plt.partition(k);
     if (!p || p->empty()) continue;
-    put_varint(out, k);
-    put_varint(out, p->size());
+    payload.clear();
     p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
                     const core::Partition::Entry& e) {
-      for (const Pos pos : v) put_varint(out, pos);
-      put_varint(out, e.freq);
+      for (const Pos pos : v) put_varint(payload, pos);
+      put_varint(payload, e.freq);
     });
+    const std::size_t frame_begin = out.size();
+    put_varint(out, k);
+    put_varint(out, p->size());
+    put_varint(out, payload.size());
+    out.insert(out.end(), payload.begin(), payload.end());
+    append_u32le(out, crc32c(std::span<const std::uint8_t>(out)
+                                 .subspan(frame_begin)));
   }
   return out;
 }
 
 core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0)
-    throw std::runtime_error("decode_plt: bad magic");
-  std::size_t offset = 4;
-  const std::uint64_t raw_max_rank = get_varint(bytes, offset);
-  // Format limit: alphabets beyond 2^26 are rejected — a corrupted header
-  // must not trigger a multi-gigabyte bucket allocation.
-  if (raw_max_rank == 0 || raw_max_rank > (1u << 26))
-    throw std::runtime_error("decode_plt: max_rank out of range");
-  const auto max_rank = static_cast<Rank>(raw_max_rank);
-  core::Plt plt(max_rank);
+  PLT_FAILPOINT("codec.decode");
+  const BlobHeader header = read_blob_header(bytes, "decode_plt");
+  core::Plt plt(header.max_rank);
 
-  const std::uint64_t partitions = get_varint(bytes, offset);
+  std::size_t offset = header.body_offset;
   core::PosVec v;
-  for (std::uint64_t p = 0; p < partitions; ++p) {
-    const std::uint64_t length = get_varint(bytes, offset);
-    const std::uint64_t entries = get_varint(bytes, offset);
-    if (length == 0 || length > max_rank)
-      throw std::runtime_error("decode_plt: invalid partition length");
-    for (std::uint64_t e = 0; e < entries; ++e) {
+  for (std::uint64_t p = 0; p < header.partitions; ++p) {
+    const PartitionFrame frame =
+        read_partition_frame(bytes, offset, header, "decode_plt");
+    for (std::uint64_t e = 0; e < frame.entries; ++e) {
       v.clear();
-      for (std::uint64_t i = 0; i < length; ++i) {
+      for (std::uint64_t i = 0; i < frame.length; ++i) {
         const std::uint64_t pos = get_varint(bytes, offset);
-        if (pos == 0 || pos > max_rank)
+        if (pos == 0 || pos > header.max_rank)
           throw std::runtime_error("decode_plt: invalid position value");
         v.push_back(static_cast<Pos>(pos));
       }
       const std::uint64_t freq = get_varint(bytes, offset);
-      if (!core::is_valid(v, max_rank))
+      if (!core::is_valid(v, header.max_rank))
         throw std::runtime_error("decode_plt: vector sum out of range");
       plt.add(v, freq);
+    }
+    if (header.version == 2) {
+      if (offset != frame.payload_end)
+        throw std::runtime_error(
+            "decode_plt: partition payload length mismatch");
+      offset = frame.payload_end + 4;  // CRC verified by the frame reader
     }
   }
   return plt;
 }
 
 std::size_t encoded_size(const core::Plt& plt) {
-  std::size_t bytes = 4 + varint_size(plt.max_rank());
+  std::size_t bytes = 4 + varint_size(plt.max_rank()) + 4;  // header + CRC
   std::uint32_t partitions = 0;
   for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
     const core::Partition* p = plt.partition(k);
     if (!p || p->empty()) continue;
     ++partitions;
-    bytes += varint_size(k) + varint_size(p->size());
+    std::size_t payload = 0;
     p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
                     const core::Partition::Entry& e) {
-      for (const Pos pos : v) bytes += varint_size(pos);
-      bytes += varint_size(e.freq);
+      for (const Pos pos : v) payload += varint_size(pos);
+      payload += varint_size(e.freq);
     });
+    bytes += varint_size(k) + varint_size(p->size()) +
+             varint_size(payload) + payload + 4;  // frame + CRC
   }
   bytes += varint_size(partitions);
   return bytes;
@@ -93,6 +104,55 @@ std::size_t encoded_size(const core::Plt& plt) {
 
 std::size_t raw_database_bytes(const tdb::Database& db) {
   return db.total_items() * sizeof(Item) + db.size() * sizeof(std::uint64_t);
+}
+
+void write_blob_file(std::span<const std::uint8_t> bytes,
+                     const std::string& path) {
+  // Temp file + fsync + rename: a crash (or injected fault) at any point
+  // leaves either the old file or the complete new one, never a torn blob.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("write_blob_file: cannot open " + tmp);
+  const std::size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  const bool synced = fsync(fileno(f)) == 0;
+#else
+  const bool synced = true;
+#endif
+  std::fclose(f);
+  if (written != bytes.size() || !flushed || !synced) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_blob_file: short write to " + tmp);
+  }
+  // A fault here models a crash after the data hit disk but before the
+  // rename: the destination is untouched and the temp file is left behind.
+  PLT_FAILPOINT("blob.write_file");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_blob_file: cannot rename into " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_blob_file(const std::string& path) {
+  PLT_FAILPOINT("blob.read_file");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("read_blob_file: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), f);
+    bytes.insert(bytes.end(), buffer, buffer + got);
+    if (got < sizeof(buffer)) break;
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed)
+    throw std::runtime_error("read_blob_file: read error on " + path);
+  return bytes;
 }
 
 }  // namespace plt::compress

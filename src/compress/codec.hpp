@@ -1,9 +1,9 @@
 // PLT serialization: a compact on-disk/wire format built on varints.
 //
-// Layout:
-//   magic "PLT1" | varint max_rank | varint partition_count
-//   per partition: varint length | varint entry_count |
-//                  entries: length * varint positions, varint freq
+// The current container is PLT2 (see blob_format.hpp for the exact layout):
+// a CRC32C over the header varints plus one per partition frame, so any
+// single-byte corruption, truncation or torn write is rejected before the
+// data is trusted. Legacy PLT1 blobs (no checksums) still decode.
 //
 // Because positions are gaps, the encoding *is* the compression: a k-itemset
 // costs ~k bytes plus its count. round-trips exactly (tests enforce it);
@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/plt.hpp"
@@ -19,12 +20,23 @@
 
 namespace plt::compress {
 
-/// Serializes a PLT to bytes.
+/// Serializes a PLT to bytes (PLT2: checksummed header + partition frames).
 std::vector<std::uint8_t> encode_plt(const core::Plt& plt);
 
-/// Reconstructs a PLT. Throws std::runtime_error on malformed input
-/// (bad magic, truncation, invalid vectors).
+/// Reconstructs a PLT from a PLT2 or legacy PLT1 blob. Throws
+/// std::runtime_error on malformed input (bad magic, truncation, checksum
+/// mismatch, invalid vectors).
 core::Plt decode_plt(std::span<const std::uint8_t> bytes);
+
+/// Writes a blob to disk atomically: the bytes land in `path + ".tmp"`, are
+/// flushed and fsync'd, then renamed over `path` — a crash mid-write leaves
+/// the previous file (or nothing), never a torn blob. Throws
+/// std::runtime_error on any I/O failure.
+void write_blob_file(std::span<const std::uint8_t> bytes,
+                     const std::string& path);
+
+/// Reads a whole blob file; throws std::runtime_error if unreadable.
+std::vector<std::uint8_t> read_blob_file(const std::string& path);
 
 /// Serialized size without materializing the buffer.
 std::size_t encoded_size(const core::Plt& plt);

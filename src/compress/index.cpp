@@ -1,14 +1,13 @@
 #include "compress/index.hpp"
 
-#include <cstring>
 #include <stdexcept>
 
+#include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
 
 namespace plt::compress {
 
 namespace {
-constexpr char kMagic[4] = {'P', 'L', 'T', '1'};
 
 // Decodes one entry starting at `offset` (advanced past it).
 void decode_entry(std::span<const std::uint8_t> blob, std::size_t& offset,
@@ -18,6 +17,7 @@ void decode_entry(std::span<const std::uint8_t> blob, std::size_t& offset,
     v.push_back(static_cast<Pos>(get_varint(blob, offset)));
   freq = get_varint(blob, offset);
 }
+
 }  // namespace
 
 std::size_t BlobIndex::memory_usage() const {
@@ -29,33 +29,38 @@ std::size_t BlobIndex::memory_usage() const {
 }
 
 BlobIndex build_index(std::span<const std::uint8_t> blob) {
-  if (blob.size() < 4 || std::memcmp(blob.data(), kMagic, 4) != 0)
-    throw std::runtime_error("build_index: bad magic");
-  std::size_t offset = 4;
+  const BlobHeader header = read_blob_header(blob, "build_index");
   BlobIndex index;
-  const std::uint64_t raw_max_rank = get_varint(blob, offset);
-  if (raw_max_rank == 0 || raw_max_rank > (1u << 26))
-    throw std::runtime_error("build_index: max_rank out of range");
-  index.max_rank = static_cast<Rank>(raw_max_rank);
+  index.max_rank = header.max_rank;
   index.buckets.resize(index.max_rank);
 
-  const std::uint64_t partitions = get_varint(blob, offset);
+  std::size_t offset = header.body_offset;
   core::PosVec v;
-  for (std::uint64_t p = 0; p < partitions; ++p) {
+  for (std::uint64_t p = 0; p < header.partitions; ++p) {
+    // The frame reader verifies the v2 CRC (and bounds-checks the declared
+    // lengths on both versions) before any entry byte is interpreted.
+    const PartitionFrame frame =
+        read_partition_frame(blob, offset, header, "build_index");
     BlobIndex::PartitionRange range;
-    range.length = static_cast<std::uint32_t>(get_varint(blob, offset));
-    range.entries = get_varint(blob, offset);
+    range.length = frame.length;
+    range.entries = frame.entries;
     range.begin = offset;
-    for (std::uint64_t e = 0; e < range.entries; ++e) {
+    for (std::uint64_t e = 0; e < frame.entries; ++e) {
       const std::uint64_t entry_offset = offset;
       Count freq = 0;
-      decode_entry(blob, offset, range.length, v, freq);
+      decode_entry(blob, offset, frame.length, v, freq);
       const Rank sum = core::vector_sum(v);
       if (sum == 0 || sum > index.max_rank)
         throw std::runtime_error("build_index: vector sum out of range");
       index.buckets[sum - 1].emplace_back(range.length, entry_offset);
     }
     range.end = offset;
+    if (header.version == 2) {
+      if (offset != frame.payload_end)
+        throw std::runtime_error(
+            "build_index: partition payload length mismatch");
+      offset = frame.payload_end + 4;  // skip the verified CRC
+    }
     index.partitions.push_back(range);
   }
   return index;

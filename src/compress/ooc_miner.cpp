@@ -1,11 +1,17 @@
 #include "compress/ooc_miner.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
+#include "compress/checkpoint.hpp"
 #include "compress/varint.hpp"
 #include "core/conditional.hpp"
 #include "core/projection_pool.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
 
 namespace plt::compress {
 
@@ -76,26 +82,110 @@ class Overlay {
 
 }  // namespace
 
-void mine_from_blob(std::span<const std::uint8_t> blob,
-                    const std::vector<Item>& item_of, Count min_support,
-                    const core::ItemsetSink& sink, OocStats* stats) {
+core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
+                                const std::vector<Item>& item_of,
+                                Count min_support,
+                                const core::ItemsetSink& sink,
+                                OocStats* stats, const OocOptions& options) {
+  const core::MiningControl* control = options.control;
+  const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
+  const std::uint64_t failpoint0 = FailpointRegistry::instance().total_hits();
+  const std::uint64_t crc0 = crc32c_verifications();
+  const auto finish = [&](core::MineStatus status) {
+    if (stats != nullptr) {
+      stats->resilience.failpoint_hits =
+          FailpointRegistry::instance().total_hits() - failpoint0;
+      stats->resilience.crc_verifications = crc32c_verifications() - crc0;
+      stats->resilience.checkpoint_records = stats->checkpoint_records;
+      if (control != nullptr)
+        stats->resilience.control_checks = control->checks() - checks0;
+    }
+    return status;
+  };
+
   const BlobIndex index = build_index(blob);
-  PLT_ASSERT(item_of.size() >= index.max_rank,
-             "item_of must cover every rank in the blob");
+  // Untrusted input path: an undersized item map must be a recoverable
+  // error, not an assertion, because the blob's max_rank comes off disk.
+  if (item_of.size() < index.max_rank)
+    throw std::runtime_error(
+        "mine_from_blob: item_of covers " +
+        std::to_string(item_of.size()) + " ranks but the blob declares " +
+        std::to_string(index.max_rank));
+
+  // Checkpointing: the log is bound to this exact (blob, min_support) via
+  // the whole-blob CRC; a matching log's completed ranks are replayed, a
+  // mismatched or disabled one starts fresh.
+  CheckpointLog log;
+  std::unique_ptr<CheckpointWriter> writer;
+  if (!options.checkpoint_path.empty()) {
+    const std::uint32_t blob_crc = crc32c(blob);
+    const bool have_log =
+        options.resume &&
+        read_checkpoint(options.checkpoint_path, blob_crc, min_support,
+                        index.max_rank, log);
+    if (!have_log) log.records.clear();
+    writer = std::make_unique<CheckpointWriter>(
+        options.checkpoint_path, blob_crc, min_support, index.max_rank,
+        log.records.empty() ? nullptr : &log);
+    if (stats != nullptr)
+      stats->checkpoint_records = writer->records_written();
+  }
+  const auto completed = static_cast<Rank>(log.records.size());
+
+  // Replay the recorded emissions verbatim — same order, same supports.
+  for (const CheckpointRecord& record : log.records)
+    for (const auto& [items, support] : record.itemsets)
+      sink(items, support);
+  if (stats != nullptr) stats->resumed_ranks = completed;
 
   Overlay overlay(index.max_rank);
   std::vector<std::pair<core::PosVec, Count>> cond;
   core::PosVec scratch;
+
+  // Rebuild the overlay state the completed ranks left behind by re-running
+  // their streaming pass without emitting: the overlay is a pure function
+  // of (blob, ranks processed), so the resumed walk sees byte-identical
+  // conditional databases.
+  for (Rank j = index.max_rank; j > index.max_rank - completed; --j) {
+    const auto warm = [&](std::span<const Pos> v, Count freq) {
+      if (v.size() > 1 && freq > 0) {
+        scratch.assign(v.begin(), v.end() - 1);
+        overlay.add(scratch, freq, j - v.back());
+      }
+    };
+    const std::size_t bytes = stream_bucket(blob, index, j, warm);
+    if (stats != nullptr) stats->bytes_decoded += bytes;
+    for (const auto& [v, freq] : overlay.bucket(j)) warm(v, freq);
+    overlay.drop(j);
+  }
+
   Itemset suffix;
-  core::ConditionalOptions options;
+  core::ConditionalOptions cond_options;
   // One engine for the whole blob: every rank's conditional PLT recycles
   // the same pooled frames.
   core::ProjectionEngine engine;
 
-  for (Rank j = index.max_rank; j >= 1; --j) {
+  CheckpointRecord record;
+  // All emissions of the current rank flow through this wrapper so the
+  // checkpoint record holds exactly what the sink saw, in order.
+  const core::ItemsetSink rank_sink = [&](std::span<const Item> items,
+                                          Count support) {
+    sink(items, support);
+    if (writer != nullptr)
+      record.itemsets.emplace_back(Itemset(items.begin(), items.end()),
+                                   support);
+  };
+
+  for (Rank j = index.max_rank - completed; j >= 1; --j) {
+    if (control != nullptr &&
+        control->should_stop(overlay.live_bytes() + engine.memory_usage()))
+      return finish(control->status());
+    PLT_FAILPOINT("ooc.rank");
+    record.rank = j;
+    record.itemsets.clear();
+
     Count support = 0;
     cond.clear();
-
     const auto consume = [&](std::span<const Pos> v, Count freq) {
       support += freq;
       if (v.size() > 1 && freq > 0) {
@@ -105,34 +195,45 @@ void mine_from_blob(std::span<const std::uint8_t> blob,
       }
     };
     const std::size_t bytes = stream_bucket(blob, index, j, consume);
-    if (stats) stats->bytes_decoded += bytes;
+    if (stats != nullptr) stats->bytes_decoded += bytes;
     for (const auto& [v, freq] : overlay.bucket(j)) consume(v, freq);
-    if (stats)
+    if (stats != nullptr)
       stats->peak_overlay_bytes =
           std::max(stats->peak_overlay_bytes, overlay.live_bytes());
     overlay.drop(j);  // rank j's prefixes will never be visited again
 
-    if (support < min_support) continue;
-
-    suffix.push_back(item_of[j - 1]);
-    {
-      Itemset emitted = suffix;
-      std::sort(emitted.begin(), emitted.end());
-      sink(emitted, support);
-    }
-    if (!cond.empty()) {
-      core::ConditionalProjection child = core::make_conditional_plt(
-          cond, j, min_support, options.filter_conditional_items);
-      if (!child.empty()) {
-        std::vector<Item> child_item_of(child.to_parent.size());
-        for (std::size_t c = 0; c < child.to_parent.size(); ++c)
-          child_item_of[c] = item_of[child.to_parent[c] - 1];
-        engine.mine(child.plt, child_item_of, suffix, min_support, sink,
-                    options);
+    if (support >= min_support) {
+      suffix.push_back(item_of[j - 1]);
+      {
+        Itemset emitted = suffix;
+        std::sort(emitted.begin(), emitted.end());
+        rank_sink(emitted, support);
       }
+      if (!cond.empty()) {
+        core::ConditionalProjection child = core::make_conditional_plt(
+            cond, j, min_support, cond_options.filter_conditional_items);
+        if (!child.empty()) {
+          std::vector<Item> child_item_of(child.to_parent.size());
+          for (std::size_t c = 0; c < child.to_parent.size(); ++c)
+            child_item_of[c] = item_of[child.to_parent[c] - 1];
+          engine.set_control(control, overlay.live_bytes());
+          engine.mine(child.plt, child_item_of, suffix, min_support,
+                      rank_sink, cond_options);
+          if (engine.interrupted()) return finish(control->status());
+        }
+      }
+      suffix.pop_back();
     }
-    suffix.pop_back();
+
+    // The rank is complete (streamed, mined, overlay advanced): one record,
+    // flushed, makes it durable. A crash before this line re-mines rank j.
+    if (writer != nullptr) {
+      writer->append(record);
+      if (stats != nullptr) stats->checkpoint_records = writer->records_written();
+    }
   }
+  return finish(control != nullptr ? control->status()
+                                   : core::MineStatus::kCompleted);
 }
 
 }  // namespace plt::compress

@@ -4,11 +4,19 @@
 // base vectors stream out of the blob bucket by bucket (highest rank
 // first); only the re-inserted prefixes and the per-item conditional PLTs
 // live in memory, which is exactly the working set of one partition task.
+//
+// The rank walk doubles as a recovery boundary: with a checkpoint path
+// configured, every completed rank appends one record (see checkpoint.hpp)
+// and a crashed run resumes from the first unrecorded rank, replaying the
+// recorded emissions so the combined output is byte-identical to an
+// uninterrupted mine (tests enforce it).
 #pragma once
 
 #include <span>
+#include <string>
 
 #include "compress/index.hpp"
+#include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
 
 namespace plt::compress {
@@ -16,16 +24,37 @@ namespace plt::compress {
 struct OocStats {
   std::size_t bytes_decoded = 0;     ///< blob bytes visited
   std::size_t peak_overlay_bytes = 0; ///< in-memory prefix overlay footprint
+  std::uint64_t checkpoint_records = 0;  ///< rank records written this run
+  std::uint64_t resumed_ranks = 0;   ///< ranks replayed from a checkpoint
+  core::ResilienceStats resilience;  ///< control/failpoint/CRC activity
+};
+
+struct OocOptions {
+  /// Cooperative cancellation / deadline / memory budget, checked once per
+  /// rank. Null = unlimited.
+  const core::MiningControl* control = nullptr;
+  /// Path of the crash-recovery log; empty disables checkpointing. The log
+  /// is bound to (blob CRC, min_support), so a stale file from different
+  /// inputs is ignored, not replayed.
+  std::string checkpoint_path;
+  /// With a checkpoint path set: replay a matching existing log instead of
+  /// restarting from scratch. false always restarts (the log is rewritten).
+  bool resume = true;
 };
 
 /// Mines every frequent itemset of the PLT serialized in `blob` at
 /// `min_support`. `item_of[r-1]` maps rank r to the original item id
 /// reported through the sink (pass 1..max_rank for identity). Results are
 /// identical to in-memory conditional mining of the decoded PLT (tests
-/// enforce it). Throws std::runtime_error on malformed blobs.
-void mine_from_blob(std::span<const std::uint8_t> blob,
-                    const std::vector<Item>& item_of, Count min_support,
-                    const core::ItemsetSink& sink,
-                    OocStats* stats = nullptr);
+/// enforce it). Returns kCompleted for an exhaustive mine, or the tripped
+/// control's status after a clean early unwind (already-emitted itemsets
+/// stay valid). Throws std::runtime_error on malformed blobs or item maps
+/// that do not cover every rank.
+core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
+                                const std::vector<Item>& item_of,
+                                Count min_support,
+                                const core::ItemsetSink& sink,
+                                OocStats* stats = nullptr,
+                                const OocOptions& options = {});
 
 }  // namespace plt::compress

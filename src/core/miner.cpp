@@ -11,6 +11,8 @@
 #include "core/builder.hpp"
 #include "core/conditional.hpp"
 #include "core/topdown.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace plt::core {
@@ -51,6 +53,35 @@ const std::vector<Algorithm>& all_algorithms() {
 
 namespace {
 
+// Snapshots the process-wide resilience counters so a MineResult can report
+// the deltas attributable to this mine (the control's checks are exact).
+struct ResilienceScope {
+  const MiningControl* control;
+  std::uint64_t checks0 = 0;
+  std::uint64_t failpoint0 = 0;
+  std::uint64_t crc0 = 0;
+
+  explicit ResilienceScope(const MiningControl* c) : control(c) {
+    if (control != nullptr) checks0 = control->checks();
+    failpoint0 = FailpointRegistry::instance().total_hits();
+    crc0 = crc32c_verifications();
+  }
+
+  void finish(MineResult& result) const {
+    result.resilience.failpoint_hits =
+        FailpointRegistry::instance().total_hits() - failpoint0;
+    result.resilience.crc_verifications = crc32c_verifications() - crc0;
+    if (control == nullptr) return;
+    result.resilience.control_checks = control->checks() - checks0;
+    result.status = control->status();
+    if (result.status == MineStatus::kBudgetExceeded)
+      result.degradation_hint =
+          "memory budget exceeded: serialize the database with encode_plt() "
+          "and mine the blob out of core via mine_from_blob(), which streams "
+          "one rank bucket at a time";
+  }
+};
+
 MineResult mine_plt_family(const tdb::Database& db, Count min_support,
                            Algorithm algorithm, const MineOptions& options) {
   MineResult result;
@@ -74,6 +105,7 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
       for (Rank r = 1; r <= max_rank; ++r) item_of[r - 1] = view.item_of(r);
       std::vector<Item> suffix;
       ProjectionEngine engine;
+      engine.set_control(options.control, result.structure_bytes);
       engine.mine(plt, item_of, suffix, min_support, sink, cond);
       result.projection = engine.stats();
       result.mine_seconds = mine_timer.seconds();
@@ -85,6 +117,7 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
       Timer mine_timer;
       TopDownOptions topdown;
       topdown.max_transaction_len = options.topdown_max_transaction_len;
+      topdown.control = options.control;
       TopDownStats stats;
       mine_topdown(view, min_support, sink,
                    algorithm == Algorithm::kPltTopDownCanonical
@@ -106,12 +139,18 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
 MineResult mine(const tdb::Database& db, Count min_support,
                 Algorithm algorithm, const MineOptions& options) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  const MiningControl* control = options.control;
+  const ResilienceScope scope(control);
   switch (algorithm) {
     case Algorithm::kPltConditional:
     case Algorithm::kPltConditionalNoFilter:
     case Algorithm::kPltTopDownCanonical:
-    case Algorithm::kPltTopDownSweep:
-      return mine_plt_family(db, min_support, algorithm, options);
+    case Algorithm::kPltTopDownSweep: {
+      MineResult result = mine_plt_family(db, min_support, algorithm,
+                                          options);
+      scope.finish(result);
+      return result;
+    }
     case Algorithm::kAis:
     case Algorithm::kApriori:
     case Algorithm::kAprioriTid:
@@ -123,47 +162,54 @@ MineResult mine(const tdb::Database& db, Count min_support,
       const auto sink = collect_into(result.itemsets);
       switch (algorithm) {
         case Algorithm::kAis:
-          baselines::mine_ais(db, min_support, sink, &stats);
+          baselines::mine_ais(db, min_support, sink, &stats, control);
           break;
         case Algorithm::kApriori:
-          baselines::mine_apriori(db, min_support, sink, &stats);
+          baselines::mine_apriori(db, min_support, sink, &stats, control);
           break;
         case Algorithm::kAprioriTid:
-          baselines::mine_apriori_tid(db, min_support, sink, &stats);
+          baselines::mine_apriori_tid(db, min_support, sink, &stats,
+                                      control);
           break;
         case Algorithm::kDhp:
-          baselines::mine_dhp(db, min_support, sink, &stats);
+          baselines::mine_dhp(db, min_support, sink, &stats, 1 << 16,
+                              control);
           break;
         case Algorithm::kDic:
-          baselines::mine_dic(db, min_support, sink, &stats);
+          baselines::mine_dic(db, min_support, sink, &stats, {}, control);
           break;
         default:
-          baselines::mine_partition(db, min_support, sink, &stats);
+          baselines::mine_partition(db, min_support, sink, &stats, {},
+                                    control);
           break;
       }
       result.build_seconds = stats.build_seconds;
       result.mine_seconds = stats.mine_seconds;
       result.structure_bytes = stats.structure_bytes;
+      scope.finish(result);
       return result;
     }
     case Algorithm::kHMine: {
       MineResult result;
       baselines::BaselineStats stats;
       baselines::mine_hmine(db, min_support, collect_into(result.itemsets),
-                            &stats);
+                            &stats, control);
       result.build_seconds = stats.build_seconds;
       result.mine_seconds = stats.mine_seconds;
       result.structure_bytes = stats.structure_bytes;
+      scope.finish(result);
       return result;
     }
     case Algorithm::kFpGrowth: {
       MineResult result;
       baselines::BaselineStats stats;
       baselines::mine_fpgrowth(db, min_support,
-                               collect_into(result.itemsets), &stats);
+                               collect_into(result.itemsets), &stats,
+                               control);
       result.build_seconds = stats.build_seconds;
       result.mine_seconds = stats.mine_seconds;
       result.structure_bytes = stats.structure_bytes;
+      scope.finish(result);
       return result;
     }
     case Algorithm::kEclat:
@@ -173,10 +219,12 @@ MineResult mine(const tdb::Database& db, Count min_support,
       const auto miner = algorithm == Algorithm::kEclat
                              ? baselines::mine_eclat
                              : baselines::mine_declat;
-      miner(db, min_support, collect_into(result.itemsets), &stats);
+      miner(db, min_support, collect_into(result.itemsets), &stats,
+            control);
       result.build_seconds = stats.build_seconds;
       result.mine_seconds = stats.mine_seconds;
       result.structure_bytes = stats.structure_bytes;
+      scope.finish(result);
       return result;
     }
     case Algorithm::kBruteForce: {
@@ -185,6 +233,7 @@ MineResult mine(const tdb::Database& db, Count min_support,
       baselines::mine_brute_force(db, min_support,
                                   collect_into(result.itemsets));
       result.mine_seconds = timer.seconds();
+      scope.finish(result);
       return result;
     }
   }

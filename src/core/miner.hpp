@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
 #include "core/projection_pool.hpp"
 #include "tdb/database.hpp"
@@ -39,6 +40,9 @@ struct MineOptions {
   tdb::ItemOrder item_order = tdb::ItemOrder::kById;
   /// Passed through to the top-down guards.
   std::uint32_t topdown_max_transaction_len = 24;
+  /// Cooperative cancellation / deadline / memory budget, checked at
+  /// projection boundaries on every algorithm path. Null = unlimited.
+  const MiningControl* control = nullptr;
 };
 
 struct MineResult {
@@ -49,6 +53,15 @@ struct MineResult {
   /// Projection-engine counters (zero for algorithms that don't project
   /// through the pooled engine — baselines, top-down).
   ProjectionStats projection;
+  /// kCompleted for an exhaustive mine; otherwise why it stopped early.
+  /// Non-completed runs still carry every itemset emitted before the stop.
+  MineStatus status = MineStatus::kCompleted;
+  /// Control/failpoint/CRC activity during this mine (deltas for the
+  /// process-wide counters, exact for the control's own checks).
+  ResilienceStats resilience;
+  /// Set when status == kBudgetExceeded: how to retry within the budget
+  /// (e.g. switch to the out-of-core blob path).
+  std::string degradation_hint;
 };
 
 /// Mines `db` at absolute support `min_support` with the chosen algorithm.

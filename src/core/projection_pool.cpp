@@ -14,6 +14,19 @@ void ProjectionStats::merge(const ProjectionStats& other) {
   steals += other.steals;
 }
 
+bool ProjectionEngine::check_control() {
+  // Ranks process in ~hundreds of nanoseconds, so even one relaxed atomic
+  // load per rank shows up against the 2% overhead target. Amortize the
+  // whole check (cancel flag, deadline clock read, budget) across 16
+  // ranks: the stop latency stays in the microseconds.
+  if ((control_tick_++ & 15u) != 0) return false;
+  // Budget checks need a byte figure; memory_usage() walks the pool, so
+  // refresh it sparsely and reuse the last measurement between.
+  if (control_->memory_budget() != 0 && (control_tick_ & 255u) == 1)
+    last_measured_bytes_ = memory_usage();
+  return control_->should_stop(control_base_bytes_ + last_measured_bytes_);
+}
+
 ProjectionEngine::Frame& ProjectionEngine::acquire(std::size_t depth) {
   if (depth >= pool_.size()) {
     pool_.push_back(std::make_unique<Frame>());
@@ -84,8 +97,19 @@ void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
   };
   std::vector<Level> stack;
   stack.push_back({&plt, &item_of, plt.max_rank()});
+  interrupted_ = false;
 
   while (!stack.empty()) {
+    if (control_ != nullptr && check_control()) {
+      // Unwind cleanly: restore the caller's suffix (one pushed item per
+      // live child level) and leave already-emitted itemsets in the sink.
+      while (stack.size() > 1) {
+        stack.pop_back();
+        suffix.pop_back();
+      }
+      interrupted_ = true;
+      return;
+    }
     Level& top = stack.back();
     if (top.j == 0) {
       stack.pop_back();

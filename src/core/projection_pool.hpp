@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/conditional.hpp"
+#include "core/exec_control.hpp"
 #include "core/plt.hpp"
 
 namespace plt::core {
@@ -98,6 +99,18 @@ class ProjectionEngine {
   const ProjectionStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Attaches a cooperative control checked once per processed rank (null
+  /// detaches). `base_bytes` is added to the engine's own footprint when
+  /// reporting memory use against the control's budget (pass the mined
+  /// structure's size so the budget sees the whole working set).
+  void set_control(const MiningControl* control, std::size_t base_bytes = 0) {
+    control_ = control;
+    control_base_bytes_ = base_bytes;
+  }
+
+  /// True when the last mine() was stopped early by the attached control.
+  bool interrupted() const { return interrupted_; }
+
   /// Heap bytes currently held by the pooled frames and scratch buffers.
   std::size_t memory_usage() const;
 
@@ -110,6 +123,9 @@ class ProjectionEngine {
   };
 
   Frame& acquire(std::size_t depth);
+  /// One cooperative control check; memory is re-measured every few ticks
+  /// (measuring walks the pool, so it is amortized off the hot path).
+  bool check_control();
   /// Projects cond_ (vectors over parent ranks 1..parent_max) into `frame`,
   /// filtering and compacting ranks exactly like make_conditional_plt.
   /// Returns false when no rank survives (nothing to mine below).
@@ -123,6 +139,11 @@ class ProjectionEngine {
   PosVec mapped_;               ///< scratch: one re-mapped child vector
   Itemset emitted_;             ///< scratch: sorted itemset handed to sinks
   ProjectionStats stats_;
+  const MiningControl* control_ = nullptr;
+  std::size_t control_base_bytes_ = 0;
+  std::uint64_t control_tick_ = 0;
+  std::size_t last_measured_bytes_ = 0;
+  bool interrupted_ = false;
 };
 
 }  // namespace plt::core

@@ -63,9 +63,16 @@ Plt topdown_expand(const RankedView& view, TopDownVariant variant,
     result.add(v, e.freq);
   });
 
+  std::uint64_t control_tick = 0;
   for (std::uint32_t k = kmax; k >= 2; --k) {
     ActiveSet level = std::move(active[k - 1]);
     for (const auto& [key, freq] : level) {
+      // memory_usage() walks the partition headers, so re-measure every 64
+      // generated parents rather than on each one.
+      if (options.control != nullptr &&
+          options.control->should_stop(
+              (control_tick++ & 63u) == 0 ? result.memory_usage() : 0))
+        return result;  // partial table; the caller reads control->status()
       // In the sweep variant tail-drops are pre-inserted prefixes, so only
       // merges are generated; in the canonical variant position p == k is
       // the tail-drop.
@@ -97,9 +104,14 @@ void mine_topdown(const RankedView& view, Count min_support,
     stats->expanded_vectors = table.num_vectors();
     stats->table_bytes = table.memory_usage();
   }
+  bool stopped = false;
+  std::uint64_t tick = 0;
   table.for_each([&](Plt::Ref, std::span<const Pos> v,
                      const Partition::Entry& e) {
-    if (e.freq < min_support) return;
+    if (stopped || e.freq < min_support) return;
+    if (options.control != nullptr && (++tick & 1023u) == 0 &&
+        options.control->should_stop(0))
+      stopped = true;
     const auto ranks = to_ranks(v);
     const Itemset items = ranks_to_items(view, ranks);
     sink(items, e.freq);

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
 #include "core/plt.hpp"
 #include "core/rank.hpp"
@@ -37,6 +38,9 @@ struct TopDownOptions {
   std::uint32_t max_transaction_len = 24;
   /// Hard cap on distinct vectors materialized; throws TopDownOverflow.
   std::size_t max_total_vectors = 64u << 20;
+  /// Cooperative control checked during expansion and emission; a tripped
+  /// control stops the walk early (the emitted itemsets are a prefix).
+  const MiningControl* control = nullptr;
 };
 
 /// Thrown when the expansion would exceed the configured guards.

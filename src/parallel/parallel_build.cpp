@@ -1,5 +1,6 @@
 #include "parallel/parallel_build.hpp"
 
+#include <exception>
 #include <future>
 #include <vector>
 
@@ -36,7 +37,14 @@ core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
     futures.push_back(pool.submit([&, begin, end] {
       core::Plt local(max_rank);
       core::PosVec v;
+      const core::MiningControl* control = options.control;
       for (std::size_t t = begin; t < end; ++t) {
+        // Re-measuring the local PLT walks its partition headers, so the
+        // budget figure is refreshed on a sparser cadence than the check.
+        if (control != nullptr && (t & 1023u) == 0 &&
+            control->should_stop((t & 8191u) == 0 ? local.memory_usage()
+                                                  : 0))
+          break;
         const auto ranks = ranked_db[t];
         if (ranks.empty()) continue;
         v.clear();
@@ -55,9 +63,20 @@ core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
     }));
   }
 
+  // Every future is drained even when one throws (e.g. an injected fault):
+  // rethrowing mid-loop would destroy `locals` while queued tasks still
+  // reference it. The first exception is re-raised after the drain.
   std::vector<core::Plt> locals;
   locals.reserve(futures.size());
-  for (auto& f : futures) locals.push_back(f.get());
+  std::exception_ptr error;
+  for (auto& f : futures) {
+    try {
+      locals.push_back(f.get());
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 
   // Pairwise tree merge: lg(chunks) rounds, the merges of each round run
   // concurrently on the pool, so high thread counts are no longer bound by
@@ -68,7 +87,14 @@ core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
       merges.push_back(pool.submit(
           [&locals, i] { merge_plt(locals[i], locals[i + 1]); }));
     }
-    for (auto& m : merges) m.get();
+    for (auto& m : merges) {
+      try {
+        m.get();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     // Survivors are the even indices (a trailing unpaired chunk passes
     // through untouched).
     std::vector<core::Plt> next;

@@ -5,12 +5,18 @@
 #pragma once
 
 #include "core/builder.hpp"
+#include "core/exec_control.hpp"
 
 namespace plt::parallel {
 
 struct BuildOptions {
   std::size_t threads = 2;
   core::BuildOptions build;  ///< e.g. insert_prefixes
+  /// Checked periodically inside every chunk task. A tripped control makes
+  /// the build return early with a *partial* PLT (wrong frequencies) — the
+  /// caller must test control->status() and discard the result unless it is
+  /// kCompleted.
+  const core::MiningControl* control = nullptr;
 };
 
 /// Builds the PLT of a ranked database (items = ranks 1..max_rank) using a

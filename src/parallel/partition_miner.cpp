@@ -1,10 +1,13 @@
 #include "parallel/partition_miner.hpp"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 
 #include "core/builder.hpp"
 #include "core/projection_pool.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace plt::parallel {
@@ -26,12 +29,28 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   PLT_ASSERT(options.threads >= 1, "need at least one thread");
   core::MineResult result;
+  const core::MiningControl* control = options.control;
+  const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
+  const std::uint64_t failpoint0 = FailpointRegistry::instance().total_hits();
+  const std::uint64_t crc0 = crc32c_verifications();
+  const auto finish = [&]() {
+    result.resilience.failpoint_hits =
+        FailpointRegistry::instance().total_hits() - failpoint0;
+    result.resilience.crc_verifications = crc32c_verifications() - crc0;
+    if (control != nullptr) {
+      result.resilience.control_checks = control->checks() - checks0;
+      result.status = control->status();
+    }
+  };
 
   Timer build_timer;
   const core::RankedView view =
       core::build_ranked_view(db, min_support, options.item_order);
   const auto max_rank = static_cast<Rank>(view.alphabet());
-  if (max_rank == 0) return result;
+  if (max_rank == 0) {
+    finish();
+    return result;
+  }
 
   // One shared pass: every transaction [r1..rk] sends its prefix
   // [r1..r_{i-1}] to partition CD_{r_i}. Prefixes are position vectors
@@ -80,6 +99,7 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
 
   const auto mine_rank = [&](std::size_t idx,
                              core::ProjectionEngine& engine) {
+    PLT_FAILPOINT("parallel.mine_rank");
     const Rank j = static_cast<Rank>(idx + 1);
     const auto sink = core::collect_into(per_rank[idx]);
     // The 1-itemset {j} is frequent by construction of the view.
@@ -96,51 +116,73 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
   };
 
   std::vector<core::ProjectionStats> worker_stats(workers);
+  // An injected fault (or any other exception) in one worker must not leak
+  // out of its thread: it is captured, every worker winds down through the
+  // abort flag, and the first capture is rethrown on the calling thread.
+  std::vector<std::exception_ptr> worker_errors(workers);
+  std::atomic<bool> abort{false};
   {
     std::vector<std::thread> crew;
     crew.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       crew.emplace_back([&, w] {
-        core::ProjectionEngine engine;
-        std::uint64_t steals = 0;
-        // Drain the worker's own window.
-        ClaimWindow& own = windows[w];
-        for (;;) {
-          const std::size_t idx =
-              own.next.fetch_add(1, std::memory_order_relaxed);
-          if (idx >= own.end) break;
-          mine_rank(idx, engine);
-        }
-        // Then steal chunks from whichever peer has the most left.
-        for (;;) {
-          std::size_t victim = workers;
-          std::size_t best_remaining = 0;
-          for (std::size_t p = 0; p < workers; ++p) {
-            if (p == w) continue;
-            const std::size_t cursor =
-                windows[p].next.load(std::memory_order_relaxed);
-            const std::size_t remaining =
-                cursor < windows[p].end ? windows[p].end - cursor : 0;
-            if (remaining > best_remaining) {
-              best_remaining = remaining;
-              victim = p;
+        try {
+          core::ProjectionEngine engine;
+          engine.set_control(control, result.structure_bytes);
+          std::uint64_t steals = 0;
+          const auto stop = [&] {
+            return abort.load(std::memory_order_relaxed) ||
+                   (control != nullptr && control->should_stop(0));
+          };
+          // Drain the worker's own window.
+          ClaimWindow& own = windows[w];
+          for (;;) {
+            if (stop()) break;
+            const std::size_t idx =
+                own.next.fetch_add(1, std::memory_order_relaxed);
+            if (idx >= own.end) break;
+            mine_rank(idx, engine);
+          }
+          // Then steal chunks from whichever peer has the most left.
+          for (;;) {
+            if (stop()) break;
+            std::size_t victim = workers;
+            std::size_t best_remaining = 0;
+            for (std::size_t p = 0; p < workers; ++p) {
+              if (p == w) continue;
+              const std::size_t cursor =
+                  windows[p].next.load(std::memory_order_relaxed);
+              const std::size_t remaining =
+                  cursor < windows[p].end ? windows[p].end - cursor : 0;
+              if (remaining > best_remaining) {
+                best_remaining = remaining;
+                victim = p;
+              }
+            }
+            if (victim == workers) break;  // everyone is drained
+            ClaimWindow& vw = windows[victim];
+            const std::size_t got =
+                vw.next.fetch_add(steal_chunk, std::memory_order_relaxed);
+            if (got >= vw.end) continue;  // lost the race; rescan
+            ++steals;
+            const std::size_t hi = std::min(vw.end, got + steal_chunk);
+            for (std::size_t idx = got; idx < hi; ++idx) {
+              if (stop()) break;
+              mine_rank(idx, engine);
             }
           }
-          if (victim == workers) break;  // everyone is drained
-          ClaimWindow& vw = windows[victim];
-          const std::size_t got =
-              vw.next.fetch_add(steal_chunk, std::memory_order_relaxed);
-          if (got >= vw.end) continue;  // lost the race; rescan
-          ++steals;
-          const std::size_t hi = std::min(vw.end, got + steal_chunk);
-          for (std::size_t idx = got; idx < hi; ++idx) mine_rank(idx, engine);
+          worker_stats[w] = engine.stats();
+          worker_stats[w].steals = steals;
+        } catch (...) {
+          worker_errors[w] = std::current_exception();
+          abort.store(true, std::memory_order_relaxed);
         }
-        worker_stats[w] = engine.stats();
-        worker_stats[w].steals = steals;
       });
     }
     for (auto& t : crew) t.join();
   }
+  for (const auto& error : worker_errors)
+    if (error) std::rethrow_exception(error);
 
   // Deterministic ordered merge: rank order regardless of which worker
   // mined what.
@@ -151,6 +193,7 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
   }
   for (const auto& stats : worker_stats) result.projection.merge(stats);
   result.mine_seconds = mine_timer.seconds();
+  finish();
   return result;
 }
 

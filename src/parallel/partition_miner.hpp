@@ -28,6 +28,9 @@ struct ParallelOptions {
   /// Ranks taken per steal once a worker's own window is empty. Small keeps
   /// the tail balanced; large amortizes the (cheap) claim contention.
   std::size_t steal_chunk = 4;
+  /// Cooperative cancellation / deadline / budget shared by all workers;
+  /// each checks it before claiming a rank. Null = unlimited.
+  const core::MiningControl* control = nullptr;
 };
 
 /// Mines all frequent itemsets of `db`; result is identical (after

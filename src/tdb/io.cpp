@@ -7,9 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace plt::tdb {
 
 Database read_fimi(std::istream& in) {
+  PLT_FAILPOINT("tdb.read_fimi");
   Database db;
   std::string line;
   std::vector<Item> row;
@@ -42,6 +45,12 @@ Database read_fimi(std::istream& in) {
     }
     if (!row.empty()) db.add(row);
   }
+  // getline() also stops on a hard stream error (disk fault, dropped
+  // mount); without this check such a read silently truncates the database.
+  if (in.bad())
+    throw std::runtime_error("FIMI read failed after line " +
+                             std::to_string(lineno) +
+                             ": stream reported an I/O error");
   return db;
 }
 
@@ -52,6 +61,7 @@ Database read_fimi_file(const std::string& path) {
 }
 
 void write_fimi(const Database& db, std::ostream& out) {
+  PLT_FAILPOINT("tdb.write_fimi");
   for (std::size_t i = 0; i < db.size(); ++i) {
     const auto t = db[i];
     for (std::size_t j = 0; j < t.size(); ++j) {
@@ -60,6 +70,12 @@ void write_fimi(const Database& db, std::ostream& out) {
     }
     out << '\n';
   }
+  // A full disk only surfaces through the stream state once buffers flush;
+  // flushing here turns a silently-truncated file into a hard error.
+  out.flush();
+  if (!out)
+    throw std::runtime_error(
+        "FIMI write failed: stream reported an I/O error");
 }
 
 void write_fimi_file(const Database& db, const std::string& path) {

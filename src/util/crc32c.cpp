@@ -1,0 +1,42 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace plt {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+std::atomic<std::uint64_t> g_verifications{0};
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data)
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xffu];
+  return ~crc;
+}
+
+std::uint64_t crc32c_verifications() {
+  return g_verifications.load(std::memory_order_relaxed);
+}
+
+void note_crc32c_verification() {
+  g_verifications.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace plt

@@ -1,0 +1,187 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace plt {
+
+namespace {
+
+// splitmix64-style mix: one independent deterministic stream per failpoint,
+// so probability-mode fire patterns are reproducible across runs.
+std::uint64_t mix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FailpointRegistry::Impl {
+  struct Point {
+    Spec spec;
+    std::uint64_t evaluations = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t rng_state = 0;
+    bool exhausted = false;  // one-shot already fired
+  };
+
+  // Fast path: evaluate() returns after one relaxed load when nothing is
+  // armed, which is the permanent state of production processes.
+  std::atomic<std::size_t> armed_count{0};
+  std::atomic<std::uint64_t> total_hits{0};
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, Point> points;
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {
+  if (const char* env = std::getenv("PLT_FAILPOINTS"))
+    arm_from_spec(env);
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+void FailpointRegistry::arm(std::string_view name, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Impl::Point point;
+  point.spec = spec;
+  point.rng_state = spec.seed ^ 0x5bf03635f0a5b5d5ULL;
+  const auto [it, inserted] =
+      impl_->points.insert_or_assign(std::string(name), point);
+  (void)it;
+  if (inserted)
+    impl_->armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->points.erase(std::string(name)) > 0)
+    impl_->armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::disarm_all() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->armed_count.fetch_sub(impl_->points.size(),
+                               std::memory_order_relaxed);
+  impl_->points.clear();
+}
+
+bool FailpointRegistry::armed(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->points.count(std::string(name)) > 0;
+}
+
+std::uint64_t FailpointRegistry::evaluations(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->points.find(std::string(name));
+  return it == impl_->points.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t FailpointRegistry::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->points.find(std::string(name));
+  return it == impl_->points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FailpointRegistry::total_hits() const {
+  return impl_->total_hits.load(std::memory_order_relaxed);
+}
+
+void FailpointRegistry::evaluate(std::string_view name) {
+  if (impl_->armed_count.load(std::memory_order_relaxed) == 0) return;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->points.find(std::string(name));
+    if (it == impl_->points.end()) return;
+    Impl::Point& point = it->second;
+    ++point.evaluations;
+    switch (point.spec.mode) {
+      case Mode::kAlways:
+        fire = true;
+        break;
+      case Mode::kProbability:
+        fire = (static_cast<double>(mix(point.rng_state) >> 11) *
+                0x1.0p-53) < point.spec.probability;
+        break;
+      case Mode::kEveryNth:
+        fire = point.spec.n > 0 && point.evaluations % point.spec.n == 0;
+        break;
+      case Mode::kOneShot:
+        fire = !point.exhausted && point.evaluations == point.spec.n;
+        if (fire) point.exhausted = true;
+        break;
+    }
+    if (fire) {
+      ++point.hits;
+      impl_->total_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (fire) throw InjectedFault(std::string(name));
+}
+
+void FailpointRegistry::arm_from_spec(std::string_view spec_list) {
+  std::size_t start = 0;
+  while (start < spec_list.size()) {
+    std::size_t end = spec_list.find(';', start);
+    if (end == std::string_view::npos) end = spec_list.size();
+    const std::string_view entry = spec_list.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw std::invalid_argument("failpoint spec missing '=': " +
+                                  std::string(entry));
+    const std::string_view name = entry.substr(0, eq);
+    std::string mode_str(entry.substr(eq + 1));
+
+    Spec spec;
+    // Split "mode:arg:seedN" on ':'.
+    std::string arg, seed_str;
+    if (const auto c1 = mode_str.find(':'); c1 != std::string::npos) {
+      arg = mode_str.substr(c1 + 1);
+      mode_str.resize(c1);
+      if (const auto c2 = arg.find(':'); c2 != std::string::npos) {
+        seed_str = arg.substr(c2 + 1);
+        arg.resize(c2);
+      }
+    }
+    try {
+      if (mode_str == "always") {
+        spec.mode = Mode::kAlways;
+      } else if (mode_str == "prob") {
+        spec.mode = Mode::kProbability;
+        spec.probability = std::stod(arg);
+        if (!seed_str.empty()) {
+          if (seed_str.rfind("seed", 0) == 0) seed_str.erase(0, 4);
+          spec.seed = std::stoull(seed_str);
+        }
+      } else if (mode_str == "every") {
+        spec.mode = Mode::kEveryNth;
+        spec.n = std::stoull(arg);
+      } else if (mode_str == "oneshot") {
+        spec.mode = Mode::kOneShot;
+        spec.n = std::stoull(arg);
+      } else {
+        throw std::invalid_argument("unknown failpoint mode");
+      }
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("malformed failpoint spec: " +
+                                  std::string(entry));
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("malformed failpoint spec: " +
+                                  std::string(entry));
+    }
+    arm(name, spec);
+  }
+}
+
+}  // namespace plt

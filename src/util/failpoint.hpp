@@ -1,0 +1,86 @@
+// Named, deterministically-seeded failpoints: tests arm a point by name and
+// the library throws an InjectedFault when execution reaches it, so I/O
+// errors, allocation failures and mid-mine crashes can be provoked on
+// demand. The evaluation sites live on cold-ish boundaries (per rank, per
+// record, per task) and the whole registry compiles to a no-op when
+// PLT_FAILPOINTS_ENABLED is 0 (cmake -DPLT_FAILPOINTS=OFF), so release
+// builds pay nothing. With failpoints compiled in but none armed, an
+// evaluation is a single relaxed atomic load.
+//
+// Activation:
+//   * API — FailpointRegistry::instance().arm("ooc.rank", {...});
+//   * env — PLT_FAILPOINTS="ooc.rank=oneshot:3;tdb.read_fimi=prob:0.5:seed9"
+//     parsed once at first registry use.
+//
+// Trigger modes: always, prob:P[:seedN] (deterministic xorshift stream),
+// every:N (fires on the Nth, 2Nth, ... evaluation), oneshot:N (fires on
+// exactly the Nth evaluation, then never again).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#ifndef PLT_FAILPOINTS_ENABLED
+#define PLT_FAILPOINTS_ENABLED 1
+#endif
+
+namespace plt {
+
+/// Thrown when an armed failpoint fires. Derives std::runtime_error so the
+/// library's normal error handling path is exercised by injection tests.
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const std::string& name)
+      : std::runtime_error("injected fault at failpoint '" + name + "'"),
+        failpoint(name) {}
+  std::string failpoint;
+};
+
+class FailpointRegistry {
+ public:
+  enum class Mode { kAlways, kProbability, kEveryNth, kOneShot };
+
+  struct Spec {
+    Mode mode = Mode::kAlways;
+    double probability = 1.0;  ///< kProbability
+    std::uint64_t n = 1;       ///< kEveryNth / kOneShot trigger ordinal
+    std::uint64_t seed = 0;    ///< kProbability: deterministic stream seed
+  };
+
+  static FailpointRegistry& instance();
+
+  void arm(std::string_view name, const Spec& spec);
+  void disarm(std::string_view name);
+  void disarm_all();
+  bool armed(std::string_view name) const;
+
+  /// Evaluations/hits of one point since it was last armed.
+  std::uint64_t evaluations(std::string_view name) const;
+  std::uint64_t hits(std::string_view name) const;
+  /// Total fires across all points since process start (monotonic).
+  std::uint64_t total_hits() const;
+
+  /// Parses a PLT_FAILPOINTS-style spec list ("a=every:3;b=prob:0.5") and
+  /// arms each entry. Throws std::invalid_argument on malformed specs.
+  void arm_from_spec(std::string_view spec_list);
+
+  /// Called by PLT_FAILPOINT(name). Throws InjectedFault when `name` is
+  /// armed and its trigger condition is met.
+  void evaluate(std::string_view name);
+
+ private:
+  FailpointRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+}  // namespace plt
+
+#if PLT_FAILPOINTS_ENABLED
+#define PLT_FAILPOINT(name) ::plt::FailpointRegistry::instance().evaluate(name)
+#else
+#define PLT_FAILPOINT(name) \
+  do {                      \
+  } while (0)
+#endif

@@ -9,7 +9,10 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/failpoint.hpp"
 
 namespace plt {
 
@@ -28,8 +31,14 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    // The failpoint runs *inside* the packaged task: an injected fault is
+    // captured by the task's promise and surfaces at future.get(), exactly
+    // like any exception thrown by the callable itself.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn)]() mutable -> R {
+          PLT_FAILPOINT("thread_pool.task");
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);

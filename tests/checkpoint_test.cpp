@@ -1,0 +1,294 @@
+// Crash-recoverable out-of-core mining: a failpoint kills the blob walk
+// mid-run, a second run resumes from the rank-granular checkpoint log, and
+// the combined emission sequence must be byte-identical to an uninterrupted
+// mine. Also covers the PLT2 container hardening (CRC rejection, legacy
+// PLT1 decode) and atomic blob file writes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "compress/ooc_miner.hpp"
+#include "compress/varint.hpp"
+#include "core/builder.hpp"
+#include "datagen/quest.hpp"
+#include "util/failpoint.hpp"
+
+namespace plt::compress {
+namespace {
+
+namespace fs = std::filesystem;
+
+// One emission as the sink saw it; sequences compare order-sensitively, so
+// equality really is "same bytes in the same order".
+using Emissions = std::vector<std::pair<Itemset, Count>>;
+
+struct Workload {
+  std::vector<std::uint8_t> blob;
+  std::vector<Item> item_of;
+};
+
+Workload sample_workload() {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 40;
+  cfg.seed = 3;
+  const auto built =
+      core::build_from_database(datagen::generate_quest(cfg), 3);
+  Workload w;
+  w.blob = encode_plt(built.plt);
+  w.item_of.resize(built.view.alphabet());
+  for (Rank r = 1; r <= built.view.alphabet(); ++r)
+    w.item_of[r - 1] = built.view.item_of(r);
+  return w;
+}
+
+Emissions mine_collecting(const Workload& w, Count minsup,
+                          const OocOptions& options = {},
+                          OocStats* stats = nullptr) {
+  Emissions out;
+  mine_from_blob(
+      w.blob, w.item_of, minsup,
+      [&](std::span<const Item> items, Count support) {
+        out.emplace_back(Itemset(items.begin(), items.end()), support);
+      },
+      stats, options);
+  return out;
+}
+
+class Checkpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::instance().disarm_all(); }
+  void TearDown() override { FailpointRegistry::instance().disarm_all(); }
+
+  std::string temp_path(const char* name) const {
+    return (fs::path(::testing::TempDir()) / name).string();
+  }
+
+  // Runs the workload until the armed "ooc.rank" failpoint kills it,
+  // leaving a partial checkpoint log at `path`.
+  void crash_run(const Workload& w, Count minsup, const std::string& path,
+                 std::uint64_t kill_at_rank_step) {
+    FailpointRegistry::Spec spec;
+    spec.mode = FailpointRegistry::Mode::kOneShot;
+    spec.n = kill_at_rank_step;
+    FailpointRegistry::instance().arm("ooc.rank", spec);
+    OocOptions options;
+    options.checkpoint_path = path;
+    EXPECT_THROW((void)mine_collecting(w, minsup, options), InjectedFault);
+    FailpointRegistry::instance().disarm("ooc.rank");
+  }
+};
+
+TEST_F(Checkpoint, KillAndResumeIsByteIdentical) {
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  ASSERT_FALSE(reference.empty());
+
+  const std::string path = temp_path("kill_resume.pltk");
+  crash_run(w, 3, path, 5);  // dies entering the 5th rank: 4 ranks durable
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions resumed = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_EQ(stats.resumed_ranks, 4u);
+  EXPECT_GT(stats.checkpoint_records, 0u);
+  EXPECT_GT(stats.resilience.crc_verifications, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, RepeatedCrashesStillConverge) {
+  // Crash twice at different depths; each resume extends the log, and the
+  // final uninterrupted pass must still reproduce the reference exactly.
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  const std::string path = temp_path("double_crash.pltk");
+
+  crash_run(w, 3, path, 3);
+  {
+    // Second run resumes past rank 2, then dies again further in.
+    FailpointRegistry::Spec spec;
+    spec.mode = FailpointRegistry::Mode::kOneShot;
+    spec.n = 6;
+    FailpointRegistry::instance().arm("ooc.rank", spec);
+    OocOptions options;
+    options.checkpoint_path = path;
+    EXPECT_THROW((void)mine_collecting(w, 3, options), InjectedFault);
+    FailpointRegistry::instance().disarm("ooc.rank");
+  }
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions resumed = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_GT(stats.resumed_ranks, 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, ResumeDisabledRestartsFresh) {
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  const std::string path = temp_path("no_resume.pltk");
+  crash_run(w, 3, path, 5);
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  options.resume = false;
+  OocStats stats;
+  const Emissions mined = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(mined, reference);
+  EXPECT_EQ(stats.resumed_ranks, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, MismatchedSupportIgnoresLog) {
+  // The log binds (blob CRC, min_support): a log written at minsup 3 must
+  // not be replayed into a minsup 4 mine.
+  const auto w = sample_workload();
+  const std::string path = temp_path("mismatch.pltk");
+  crash_run(w, 3, path, 5);
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions mined = mine_collecting(w, 4, options, &stats);
+  EXPECT_EQ(stats.resumed_ranks, 0u);
+  EXPECT_EQ(mined, mine_collecting(w, 4));
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, TornTailIsDroppedNotTrusted) {
+  // Chop bytes off the log so the last record is torn mid-encoding: the
+  // reader must keep the intact prefix, drop the tail, and the resumed
+  // mine must still match the reference byte for byte.
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  const std::string path = temp_path("torn.pltk");
+  crash_run(w, 3, path, 6);
+
+  const auto size = fs::file_size(path);
+  ASSERT_GT(size, 3u);
+  fs::resize_file(path, size - 3);
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions resumed = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_LT(stats.resumed_ranks, 5u);  // the torn record cannot count
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, GarbageLogIsIgnored) {
+  const auto w = sample_workload();
+  const std::string path = temp_path("garbage.pltk");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions mined = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(stats.resumed_ranks, 0u);
+  EXPECT_EQ(mined, mine_collecting(w, 3));
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, CompletedRunWritesOneRecordPerRank) {
+  const auto w = sample_workload();
+  const std::string path = temp_path("complete.pltk");
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  (void)mine_collecting(w, 3, options, &stats);
+  const auto index = build_index(w.blob);
+  EXPECT_EQ(stats.checkpoint_records, index.max_rank);
+  EXPECT_EQ(stats.resilience.checkpoint_records, index.max_rank);
+  std::remove(path.c_str());
+}
+
+// ---- PLT2 container hardening -------------------------------------------
+
+TEST_F(Checkpoint, Plt2RejectsPayloadCorruptionByCrc) {
+  const auto w = sample_workload();
+  ASSERT_EQ(w.blob[3], '2');  // the encoder emits the checksummed container
+  // Flip one payload byte far from the header: only the frame CRC can
+  // notice this class of corruption.
+  auto corrupt = w.blob;
+  corrupt[corrupt.size() - 8] ^= 0x40;
+  EXPECT_THROW((void)decode_plt(corrupt), std::runtime_error);
+  EXPECT_THROW((void)build_index(corrupt), std::runtime_error);
+}
+
+TEST_F(Checkpoint, LegacyPlt1StillDecodes) {
+  // Hand-build a checksum-less v1 blob: two partitions, three vectors.
+  std::vector<std::uint8_t> blob{'P', 'L', 'T', '1'};
+  put_varint(blob, 4);  // max_rank
+  put_varint(blob, 2);  // partitions
+  put_varint(blob, 1);  // length 1
+  put_varint(blob, 2);  // two entries
+  put_varint(blob, 3);  // {3}
+  put_varint(blob, 7);  //   freq 7
+  put_varint(blob, 4);  // {4}
+  put_varint(blob, 2);  //   freq 2
+  put_varint(blob, 2);  // length 2
+  put_varint(blob, 1);  // one entry
+  put_varint(blob, 1);  // {1, 2}: gap-coded 1, 1
+  put_varint(blob, 1);
+  put_varint(blob, 5);  //   freq 5
+
+  const auto plt = decode_plt(blob);
+  EXPECT_EQ(plt.max_rank(), 4u);
+  std::size_t entries = 0;
+  Count mass = 0;
+  plt.for_each([&](core::Plt::Ref, std::span<const Pos>,
+                   const core::Partition::Entry& e) {
+    ++entries;
+    mass += e.freq;
+  });
+  EXPECT_EQ(entries, 3u);
+  EXPECT_EQ(mass, 14u);
+
+  // And the index/OOC path accepts it too.
+  const auto index = build_index(blob);
+  EXPECT_EQ(index.max_rank, 4u);
+}
+
+// ---- atomic blob file writes --------------------------------------------
+
+TEST_F(Checkpoint, BlobFileRoundTrip) {
+  const auto w = sample_workload();
+  const std::string path = temp_path("blob.plt");
+  write_blob_file(w.blob, path);
+  EXPECT_EQ(read_blob_file(path), w.blob);
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, CrashBeforeRenameLeavesPreviousBlobIntact) {
+  const auto w = sample_workload();
+  const std::string path = temp_path("atomic.plt");
+  write_blob_file(w.blob, path);
+
+  // A "crash" between fsync and rename must leave the destination exactly
+  // as it was; only the temp file is abandoned.
+  FailpointRegistry::instance().arm("blob.write_file", {});
+  const std::vector<std::uint8_t> other(100, 0xAB);
+  EXPECT_THROW(write_blob_file(other, path), InjectedFault);
+  FailpointRegistry::instance().disarm("blob.write_file");
+
+  EXPECT_EQ(read_blob_file(path), w.blob);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+}  // namespace
+}  // namespace plt::compress

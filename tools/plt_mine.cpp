@@ -218,14 +218,14 @@ int main(int argc, char** argv) {
   if (args.has("serialize")) {
     const auto built = core::build_from_database(db, minsup);
     const auto blob = compress::encode_plt(built.plt);
-    std::ofstream out(args.get("serialize", ""), std::ios::binary);
-    if (!out) {
-      std::cerr << "error: cannot write " << args.get("serialize", "")
-                << '\n';
+    // Atomic write (tmp + fsync + rename): a crash mid-serialize never
+    // leaves a torn blob where a previous good one stood.
+    try {
+      compress::write_blob_file(blob, args.get("serialize", ""));
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
       return 1;
     }
-    out.write(reinterpret_cast<const char*>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
     std::cerr << "PLT serialized: " << blob.size() << " bytes -> "
               << args.get("serialize", "") << '\n';
   }
