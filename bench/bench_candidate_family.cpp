@@ -5,6 +5,7 @@
 // sparse and one dense workload (every cell cross-checked for agreement).
 #include <iostream>
 
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -12,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E15", "candidate-generation family",

@@ -9,6 +9,7 @@
 #include "core/closed.hpp"
 #include "core/miner.hpp"
 #include "datagen/transforms.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E16", "native closed mining (CHARM)",

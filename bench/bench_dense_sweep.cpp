@@ -3,6 +3,7 @@
 // chess-like and mushroom-like data from high to moderate thresholds.
 #include <iostream>
 
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -10,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E3", "dense dataset support sweep",

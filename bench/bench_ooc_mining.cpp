@@ -9,6 +9,7 @@
 #include "compress/ooc_miner.hpp"
 #include "core/builder.hpp"
 #include "core/miner.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -19,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E11", "mining from the serialized blob",

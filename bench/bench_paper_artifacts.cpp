@@ -9,7 +9,9 @@
 #include "core/conditional.hpp"
 #include "core/miner.hpp"
 #include "core/topdown.hpp"
+#include "harness/backend.hpp"
 #include "harness/report.hpp"
+#include "util/args.hpp"
 
 namespace {
 
@@ -22,8 +24,10 @@ void check(bool ok, const std::string& what) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace plt;
+  const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   constexpr Item A = 1, B = 2, C = 3, D = 4, E = 5, F = 6;
   const auto db = tdb::Database::from_transactions({
       {A, B, C}, {A, B, C}, {A, B, C, D}, {A, B, D, E}, {B, C, D},

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/miner.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "parallel/partition_miner.hpp"
@@ -18,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E7", "partitioned parallel mining",

@@ -14,6 +14,7 @@
 #include "core/exec_control.hpp"
 #include "core/conditional.hpp"
 #include "core/projection_pool.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "parallel/partition_miner.hpp"
@@ -34,6 +35,7 @@ struct Row {
   double pooled_seconds = 0.0;
   double warm_seconds = 0.0;        ///< warm-pool rerun, no control
   double controlled_seconds = 0.0;  ///< warm-pool rerun + armed control
+  double scalar_kernel_seconds = 0.0;  ///< warm rerun, scalar kernel backend
   std::uint64_t control_checks = 0;
   core::ProjectionStats stats;
 };
@@ -122,6 +124,10 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         << ", \"pooled_seconds\": " << r.pooled_seconds
         << ", \"warm_seconds\": " << r.warm_seconds
         << ", \"controlled_seconds\": " << r.controlled_seconds
+        << ", \"scalar_kernel_seconds\": " << r.scalar_kernel_seconds
+        << ", \"kernel_speedup\": "
+        << (r.warm_seconds > 0 ? r.scalar_kernel_seconds / r.warm_seconds
+                               : 0.0)
         << ", \"control_overhead\": "
         << (r.warm_seconds > 0
                 ? r.controlled_seconds / r.warm_seconds - 1.0
@@ -145,6 +151,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
   const std::string out_path =
       args.get("out", "BENCH_projection_pool.json");
@@ -164,8 +171,8 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   Table table({"dataset", "minsup", "frequent", "recursive", "pooled",
-               "speedup", "ctl ovh%", "ctl checks", "projections", "fresh",
-               "recycled", "recycled B"});
+               "speedup", "kern spd", "ctl ovh%", "ctl checks", "projections",
+               "fresh", "recycled", "recycled B"});
   bool all_agree = true;
   for (const auto& c : cases) {
     const auto db = harness::scaled_dataset(c.dataset, scale);
@@ -207,6 +214,24 @@ int main(int argc, char** argv) {
         if (rep == 0 || c < controlled_seconds) controlled_seconds = c;
       }
 
+      // Same warm engine pinned to the scalar kernel backend: warm vs
+      // warm isolates the vectorized-kernel speedup from the pooling win.
+      const kernels::Backend selected = kernels::active().backend;
+      double scalar_kernel_seconds = 0.0;
+      core::FrequentItemsets scalar_out;
+      kernels::set_backend(kernels::Backend::kScalar);
+      for (int rep = 0; rep < 3; ++rep) {
+        scalar_out = {};
+        const double s = time_pooled(p, minsup, engine, scalar_out);
+        if (rep == 0 || s < scalar_kernel_seconds) scalar_kernel_seconds = s;
+      }
+      kernels::set_backend(selected);
+      if (!core::FrequentItemsets::equal(recursive_out, scalar_out)) {
+        std::cerr << "DISAGREEMENT (scalar backend) at " << c.dataset
+                  << " minsup=" << minsup << "\n";
+        all_agree = false;
+      }
+
       if (!core::FrequentItemsets::equal(recursive_out, controlled_out)) {
         std::cerr << "DISAGREEMENT (controlled) at " << c.dataset
                   << " minsup=" << minsup << "\n";
@@ -226,6 +251,7 @@ int main(int argc, char** argv) {
       row.pooled_seconds = pooled_seconds;
       row.warm_seconds = warm_seconds;
       row.controlled_seconds = controlled_seconds;
+      row.scalar_kernel_seconds = scalar_kernel_seconds;
       row.control_checks = control_checks;
       row.stats = cold_stats;
       rows.push_back(row);
@@ -235,6 +261,9 @@ int main(int argc, char** argv) {
            format_duration(recursive_seconds), format_duration(pooled_seconds),
            pooled_seconds > 0
                ? std::to_string(recursive_seconds / pooled_seconds)
+               : "-",
+           warm_seconds > 0
+               ? std::to_string(scalar_kernel_seconds / warm_seconds)
                : "-",
            warm_seconds > 0
                ? std::to_string(

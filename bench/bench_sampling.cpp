@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "core/border.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -15,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E13", "sampling with negative-border "

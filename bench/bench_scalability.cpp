@@ -4,6 +4,7 @@
 // approach; the comparison includes FP-growth and Apriori.
 #include <iostream>
 
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -14,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E5", "scalability in |D|",

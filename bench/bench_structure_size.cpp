@@ -8,6 +8,7 @@
 #include "baselines/fpgrowth.hpp"
 #include "compress/codec.hpp"
 #include "core/builder.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "util/args.hpp"
@@ -17,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args)) return 2;
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E1", "structure size & compression",

@@ -7,12 +7,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <string_view>
+#include <vector>
 
 #include "core/builder.hpp"
 #include "core/subset_check.hpp"
 #include "datagen/dense.hpp"
 #include "datagen/quest.hpp"
+#include "harness/backend.hpp"
 #include "tdb/bitmap.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -183,4 +187,23 @@ BENCHMARK(BM_PairDecodeThenIncludes);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the shared --backend flag is
+// stripped before the remaining arguments reach google-benchmark.
+int main(int argc, char** argv) {
+  const plt::Args args(argc, argv);
+  if (!plt::harness::apply_backend_flag(args)) return 2;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--backend") { ++i; continue; }  // space-separated value
+    if (arg.rfind("--backend=", 0) == 0) continue;
+    rest.push_back(argv[i]);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

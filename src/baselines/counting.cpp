@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tdb/vertical.hpp"
+
 namespace plt::baselines {
 
 CountingTrie::CountingTrie(const std::vector<Itemset>& candidates)
@@ -63,6 +65,37 @@ std::vector<Count> count_supports(const tdb::Database& db,
   std::vector<Count> out(candidates.size());
   for (std::size_t c = 0; c < candidates.size(); ++c)
     out[c] = trie.support(c);
+  return out;
+}
+
+std::vector<Count> count_supports_vertical(
+    const tdb::Database& db, const std::vector<Itemset>& candidates) {
+  std::vector<Count> out(candidates.size(), 0);
+  if (db.empty()) return out;
+  const tdb::VerticalView vertical(db);
+  std::vector<Tid> acc;
+  std::vector<Tid> next;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const Itemset& cand = candidates[c];
+    if (cand.empty()) {
+      out[c] = db.size();
+      continue;
+    }
+    const auto first = vertical.tidset(cand[0]);
+    if (cand.size() == 1) {
+      out[c] = first.size();
+      continue;
+    }
+    acc.assign(first.begin(), first.end());
+    for (std::size_t i = 1; i + 1 < cand.size() && !acc.empty(); ++i) {
+      next = tdb::intersect(acc, vertical.tidset(cand[i]));
+      acc.swap(next);
+    }
+    // Last item: count only — no need to materialize the final tidset.
+    out[c] = acc.empty() ? 0
+                         : tdb::intersect_count(
+                               acc, vertical.tidset(cand.back()));
+  }
   return out;
 }
 

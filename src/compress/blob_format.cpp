@@ -5,6 +5,7 @@
 #include <string>
 
 #include "compress/varint.hpp"
+#include "kernels/kernels.hpp"
 #include "util/crc32c.hpp"
 
 namespace plt::compress {
@@ -75,9 +76,14 @@ PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
   PartitionFrame frame;
   const std::size_t frame_begin = offset;
   const std::uint64_t raw_length = get_varint(blob, offset);
-  if (raw_length == 0 || raw_length > header.max_rank)
+  frame.block_coded = (raw_length & kFrameBlockCoded) != 0;
+  const std::uint64_t length =
+      raw_length & ~static_cast<std::uint64_t>(kFrameBlockCoded);
+  if (length == 0 || length > header.max_rank)
     fail(who, "invalid partition length");
-  frame.length = static_cast<std::uint32_t>(raw_length);
+  if (frame.block_coded && header.version == 1)
+    fail(who, "block-coded frame in a PLT1 blob");
+  frame.length = static_cast<std::uint32_t>(length);
   frame.entries = get_varint(blob, offset);
 
   if (header.version == 1) {
@@ -94,8 +100,14 @@ PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
   const std::uint64_t payload_len = get_varint(blob, offset);
   if (payload_len > blob.size() - offset)
     fail(who, "partition payload runs past the blob");
-  // Every entry needs at least length position bytes plus one freq byte.
-  if (frame.entries > payload_len / (frame.length + 1))
+  // Minimum entry footprint: scalar frames need at least length position
+  // bytes plus one freq byte; block frames need one byte per value
+  // (length + 2 of them) plus the group control bytes.
+  const std::uint64_t min_entry_bytes =
+      frame.block_coded
+          ? (frame.length + 2ull) + (frame.length + 5ull) / 4
+          : frame.length + 1ull;
+  if (frame.entries > payload_len / min_entry_bytes)
     fail(who, "entry count exceeds payload size");
   frame.payload_begin = offset;
   frame.payload_end = offset + payload_len;
@@ -106,6 +118,34 @@ PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
   note_crc32c_verification();
   if (stored != actual) fail(who, "partition checksum mismatch");
   return frame;
+}
+
+void decode_blob_entry(std::span<const std::uint8_t> blob,
+                       std::size_t& offset, std::uint32_t coded_length,
+                       core::PosVec& v, Count& freq) {
+  const std::uint32_t length = coded_length & ~kFrameBlockCoded;
+  if ((coded_length & kFrameBlockCoded) == 0) {
+    v.clear();
+    for (std::uint32_t i = 0; i < length; ++i) {
+      const std::uint64_t pos = get_varint(blob, offset);
+      if (pos > 0xffffffffull)
+        throw std::runtime_error(
+            "decode_blob_entry: position overflows 32 bits");
+      v.push_back(static_cast<Pos>(pos));
+    }
+    freq = get_varint(blob, offset);
+    return;
+  }
+  // One group-varint block of length positions plus the freq split lo/hi.
+  v.resize(length + 2);
+  const std::size_t consumed = kernels::active().decode_varint_block(
+      blob.data() + offset, blob.size() - offset, v.data(), length + 2);
+  if (consumed == kernels::kDecodeError)
+    throw std::runtime_error("decode_blob_entry: truncated block entry");
+  freq = static_cast<Count>(v[length]) |
+         (static_cast<Count>(v[length + 1]) << 32);
+  v.resize(length);
+  offset += consumed;
 }
 
 }  // namespace plt::compress

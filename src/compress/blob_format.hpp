@@ -12,6 +12,17 @@
 //   per partition: varint length | varint entry_count | varint payload_len |
 //                  payload | u32le CRC32C(framing varints + payload)
 // `payload` is the entry stream (length positions + freq, all varints).
+//
+// PLT2 block-coded frames (written by encode_plt when
+// EncodeOptions::block_frames is set, the default): the frame-length varint
+// carries kFrameBlockCoded OR'd in — max_rank is capped at 2^26, so bit 27
+// is never set by a scalar frame and old decoders' length check rejects the
+// new frames cleanly instead of misreading them. Each entry's payload is
+// one group-varint block of length+2 u32 values (the positions, then freq
+// split lo/hi): groups of four values share a control byte (2 bits each =
+// byte length - 1) followed by the little-endian value bytes. Entries stay
+// independently decodable at their byte offsets, so the BlobIndex's
+// random-access buckets work unchanged on both subformats.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,11 @@ namespace plt::compress {
 
 inline constexpr char kMagicV1[4] = {'P', 'L', 'T', '1'};
 inline constexpr char kMagicV2[4] = {'P', 'L', 'T', '2'};
+
+/// Flag OR'd into a PLT2 frame-length varint (and into the coded lengths a
+/// BlobIndex stores): the frame's entries use the group-varint block
+/// layout. Safe because partition lengths are bounded by max_rank <= 2^26.
+inline constexpr std::uint32_t kFrameBlockCoded = 1u << 27;
 
 /// Appends `value` little-endian (the fixed-width CRC slot).
 void append_u32le(std::vector<std::uint8_t>& out, std::uint32_t value);
@@ -48,6 +64,7 @@ BlobHeader read_blob_header(std::span<const std::uint8_t> blob,
 
 struct PartitionFrame {
   std::uint32_t length = 0;
+  bool block_coded = false;  ///< group-varint entry layout (PLT2 only)
   std::uint64_t entries = 0;
   std::size_t payload_begin = 0;
   /// One past the entry stream. 0 for v1 frames (extent only known after
@@ -65,5 +82,16 @@ PartitionFrame read_partition_frame(std::span<const std::uint8_t> blob,
                                     std::size_t& offset,
                                     const BlobHeader& header,
                                     const char* who);
+
+/// Decodes one entry at `offset` (advanced past it). `coded_length` is the
+/// vector length, with kFrameBlockCoded OR'd in when the entry uses the
+/// group-varint block layout — exactly the form read_partition_frame
+/// parsed and BlobIndex buckets store. Throws std::runtime_error on
+/// truncated input. The kernel dispatch makes the block path SIMD on
+/// supporting hosts; every backend decodes identical bytes to identical
+/// values.
+void decode_blob_entry(std::span<const std::uint8_t> blob,
+                       std::size_t& offset, std::uint32_t coded_length,
+                       core::PosVec& v, Count& freq);
 
 }  // namespace plt::compress

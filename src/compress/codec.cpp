@@ -5,6 +5,7 @@
 
 #include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
+#include "kernels/kernels.hpp"
 #include "tdb/database.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
@@ -15,7 +16,21 @@
 
 namespace plt::compress {
 
-std::vector<std::uint8_t> encode_plt(const core::Plt& plt) {
+namespace {
+
+/// One entry's u32 value sequence in the block subformat: the positions
+/// followed by the 64-bit freq split into lo/hi words.
+void block_entry_values(std::span<const Pos> v, Count freq,
+                        std::vector<std::uint32_t>& vals) {
+  vals.assign(v.begin(), v.end());
+  vals.push_back(static_cast<std::uint32_t>(freq & 0xffffffffull));
+  vals.push_back(static_cast<std::uint32_t>(freq >> 32));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_plt(const core::Plt& plt,
+                                     const EncodeOptions& options) {
   PLT_FAILPOINT("codec.encode");
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -29,17 +44,30 @@ std::vector<std::uint8_t> encode_plt(const core::Plt& plt) {
   append_u32le(out, crc32c(std::span<const std::uint8_t>(out).subspan(4)));
 
   std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> vals;
+  std::vector<std::uint8_t> scratch;
   for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
     const core::Partition* p = plt.partition(k);
     if (!p || p->empty()) continue;
     payload.clear();
     p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
                     const core::Partition::Entry& e) {
-      for (const Pos pos : v) put_varint(payload, pos);
-      put_varint(payload, e.freq);
+      if (options.block_frames) {
+        // The group-varint encoding is canonical, so every kernel backend
+        // emits identical payload bytes (and identical CRCs).
+        block_entry_values(v, e.freq, vals);
+        scratch.resize(kernels::encoded_block_bound(vals.size()));
+        const std::size_t n = kernels::active().encode_varint_block(
+            vals.data(), vals.size(), scratch.data());
+        payload.insert(payload.end(), scratch.begin(),
+                       scratch.begin() + static_cast<std::ptrdiff_t>(n));
+      } else {
+        for (const Pos pos : v) put_varint(payload, pos);
+        put_varint(payload, e.freq);
+      }
     });
     const std::size_t frame_begin = out.size();
-    put_varint(out, k);
+    put_varint(out, options.block_frames ? (k | kFrameBlockCoded) : k);
     put_varint(out, p->size());
     put_varint(out, payload.size());
     out.insert(out.end(), payload.begin(), payload.end());
@@ -59,15 +87,14 @@ core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
   for (std::uint64_t p = 0; p < header.partitions; ++p) {
     const PartitionFrame frame =
         read_partition_frame(bytes, offset, header, "decode_plt");
+    const std::uint32_t coded_length =
+        frame.length | (frame.block_coded ? kFrameBlockCoded : 0u);
     for (std::uint64_t e = 0; e < frame.entries; ++e) {
-      v.clear();
-      for (std::uint64_t i = 0; i < frame.length; ++i) {
-        const std::uint64_t pos = get_varint(bytes, offset);
+      Count freq = 0;
+      decode_blob_entry(bytes, offset, coded_length, v, freq);
+      for (const Pos pos : v)
         if (pos == 0 || pos > header.max_rank)
           throw std::runtime_error("decode_plt: invalid position value");
-        v.push_back(static_cast<Pos>(pos));
-      }
-      const std::uint64_t freq = get_varint(bytes, offset);
       if (!core::is_valid(v, header.max_rank))
         throw std::runtime_error("decode_plt: vector sum out of range");
       plt.add(v, freq);
@@ -82,9 +109,11 @@ core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
   return plt;
 }
 
-std::size_t encoded_size(const core::Plt& plt) {
+std::size_t encoded_size(const core::Plt& plt,
+                         const EncodeOptions& options) {
   std::size_t bytes = 4 + varint_size(plt.max_rank()) + 4;  // header + CRC
   std::uint32_t partitions = 0;
+  std::vector<std::uint32_t> vals;
   for (std::uint32_t k = 1; k <= plt.max_len(); ++k) {
     const core::Partition* p = plt.partition(k);
     if (!p || p->empty()) continue;
@@ -92,10 +121,17 @@ std::size_t encoded_size(const core::Plt& plt) {
     std::size_t payload = 0;
     p->for_each([&](core::Partition::EntryId, std::span<const Pos> v,
                     const core::Partition::Entry& e) {
-      for (const Pos pos : v) payload += varint_size(pos);
-      payload += varint_size(e.freq);
+      if (options.block_frames) {
+        block_entry_values(v, e.freq, vals);
+        payload += kernels::encoded_block_size(vals.data(), vals.size());
+      } else {
+        for (const Pos pos : v) payload += varint_size(pos);
+        payload += varint_size(e.freq);
+      }
     });
-    bytes += varint_size(k) + varint_size(p->size()) +
+    const std::uint64_t frame_tag =
+        options.block_frames ? (k | kFrameBlockCoded) : k;
+    bytes += varint_size(frame_tag) + varint_size(p->size()) +
              varint_size(payload) + payload + 4;  // frame + CRC
   }
   bytes += varint_size(partitions);

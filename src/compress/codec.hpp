@@ -20,8 +20,17 @@
 
 namespace plt::compress {
 
+struct EncodeOptions {
+  /// Write partition frames in the group-varint block subformat (frame
+  /// flag kFrameBlockCoded, SIMD-decodable): the default. Turn off to emit
+  /// classic scalar-varint PLT2 frames; decode_plt reads both, and legacy
+  /// blobs are unaffected either way.
+  bool block_frames = true;
+};
+
 /// Serializes a PLT to bytes (PLT2: checksummed header + partition frames).
-std::vector<std::uint8_t> encode_plt(const core::Plt& plt);
+std::vector<std::uint8_t> encode_plt(const core::Plt& plt,
+                                     const EncodeOptions& options = {});
 
 /// Reconstructs a PLT from a PLT2 or legacy PLT1 blob. Throws
 /// std::runtime_error on malformed input (bad magic, truncation, checksum
@@ -38,8 +47,9 @@ void write_blob_file(std::span<const std::uint8_t> bytes,
 /// Reads a whole blob file; throws std::runtime_error if unreadable.
 std::vector<std::uint8_t> read_blob_file(const std::string& path);
 
-/// Serialized size without materializing the buffer.
-std::size_t encoded_size(const core::Plt& plt);
+/// Serialized size without materializing the buffer (for the same options).
+std::size_t encoded_size(const core::Plt& plt,
+                         const EncodeOptions& options = {});
 
 /// Raw horizontal-layout cost of the same information in a plain database
 /// encoding (4 bytes per item occurrence + 8 per transaction) — the E1

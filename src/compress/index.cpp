@@ -7,19 +7,6 @@
 
 namespace plt::compress {
 
-namespace {
-
-// Decodes one entry starting at `offset` (advanced past it).
-void decode_entry(std::span<const std::uint8_t> blob, std::size_t& offset,
-                  std::uint32_t length, core::PosVec& v, Count& freq) {
-  v.clear();
-  for (std::uint32_t i = 0; i < length; ++i)
-    v.push_back(static_cast<Pos>(get_varint(blob, offset)));
-  freq = get_varint(blob, offset);
-}
-
-}  // namespace
-
 std::size_t BlobIndex::memory_usage() const {
   std::size_t bytes = sizeof(BlobIndex) +
                       partitions.capacity() * sizeof(PartitionRange);
@@ -43,16 +30,19 @@ BlobIndex build_index(std::span<const std::uint8_t> blob) {
         read_partition_frame(blob, offset, header, "build_index");
     BlobIndex::PartitionRange range;
     range.length = frame.length;
+    range.block_coded = frame.block_coded;
     range.entries = frame.entries;
     range.begin = offset;
+    const std::uint32_t coded_length =
+        frame.length | (frame.block_coded ? kFrameBlockCoded : 0u);
     for (std::uint64_t e = 0; e < frame.entries; ++e) {
       const std::uint64_t entry_offset = offset;
       Count freq = 0;
-      decode_entry(blob, offset, frame.length, v, freq);
+      decode_blob_entry(blob, offset, coded_length, v, freq);
       const Rank sum = core::vector_sum(v);
       if (sum == 0 || sum > index.max_rank)
         throw std::runtime_error("build_index: vector sum out of range");
-      index.buckets[sum - 1].emplace_back(range.length, entry_offset);
+      index.buckets[sum - 1].emplace_back(coded_length, entry_offset);
     }
     range.end = offset;
     if (header.version == 2) {
@@ -73,10 +63,12 @@ std::size_t decode_partition(
   core::PosVec v;
   for (const auto& range : index.partitions) {
     if (range.length != length) continue;
+    const std::uint32_t coded_length =
+        range.length | (range.block_coded ? kFrameBlockCoded : 0u);
     std::size_t offset = range.begin;
     for (std::uint64_t e = 0; e < range.entries; ++e) {
       Count freq = 0;
-      decode_entry(blob, offset, length, v, freq);
+      decode_blob_entry(blob, offset, coded_length, v, freq);
       fn(v, freq);
     }
     return range.entries;
@@ -90,10 +82,10 @@ std::size_t decode_bucket(
   if (sum == 0 || sum > index.max_rank) return 0;
   core::PosVec v;
   const auto& bucket = index.buckets[sum - 1];
-  for (const auto& [length, entry_offset] : bucket) {
+  for (const auto& [coded_length, entry_offset] : bucket) {
     std::size_t offset = entry_offset;
     Count freq = 0;
-    decode_entry(blob, offset, length, v, freq);
+    decode_blob_entry(blob, offset, coded_length, v, freq);
     fn(v, freq);
   }
   return bucket.size();

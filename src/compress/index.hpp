@@ -17,6 +17,7 @@ namespace plt::compress {
 struct BlobIndex {
   struct PartitionRange {
     std::uint32_t length = 0;
+    bool block_coded = false;  ///< group-varint entry layout
     std::uint64_t begin = 0;   ///< byte offset of the entry stream
     std::uint64_t end = 0;
     std::uint64_t entries = 0;
@@ -24,7 +25,9 @@ struct BlobIndex {
   Rank max_rank = 0;
   std::vector<PartitionRange> partitions;
   /// entry_offsets[s-1]: byte offsets (into the blob) of entries whose
-  /// vector sum is s, across all partitions, paired with their length.
+  /// vector sum is s, across all partitions, paired with their *coded*
+  /// length — the vector length with kFrameBlockCoded OR'd in for block
+  /// frames, ready to hand to decode_blob_entry.
   std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>> buckets;
 
   std::size_t memory_usage() const;

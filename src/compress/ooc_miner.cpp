@@ -6,8 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "compress/blob_format.hpp"
 #include "compress/checkpoint.hpp"
-#include "compress/varint.hpp"
 #include "core/conditional.hpp"
 #include "core/projection_pool.hpp"
 #include "util/crc32c.hpp"
@@ -24,12 +24,13 @@ std::size_t stream_bucket(std::span<const std::uint8_t> blob,
                           const BlobIndex& index, Rank sum, Fn&& fn) {
   std::size_t bytes = 0;
   core::PosVec v;
-  for (const auto& [length, entry_offset] : index.buckets[sum - 1]) {
+  for (const auto& [coded_length, entry_offset] : index.buckets[sum - 1]) {
+    // The coded length carries the frame's kFrameBlockCoded flag, so block
+    // entries take the SIMD group-varint decode and scalar frames the
+    // classic varint loop — both at the same random-access offsets.
     std::size_t offset = entry_offset;
-    v.clear();
-    for (std::uint32_t i = 0; i < length; ++i)
-      v.push_back(static_cast<Pos>(get_varint(blob, offset)));
-    const Count freq = get_varint(blob, offset);
+    Count freq = 0;
+    decode_blob_entry(blob, offset, coded_length, v, freq);
     bytes += offset - entry_offset;
     fn(std::span<const Pos>(v), freq);
   }

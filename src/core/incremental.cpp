@@ -12,7 +12,8 @@ IncrementalPlt::IncrementalPlt(Item max_item)
   PLT_ASSERT(max_item >= 1, "the item universe must be non-empty");
 }
 
-PosVec IncrementalPlt::encode(std::span<const Item> transaction) const {
+std::span<const Pos> IncrementalPlt::encode(
+    std::span<const Item> transaction) const {
   scratch_.assign(transaction.begin(), transaction.end());
   std::sort(scratch_.begin(), scratch_.end());
   scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
@@ -20,18 +21,18 @@ PosVec IncrementalPlt::encode(std::span<const Item> transaction) const {
   if (!scratch_.empty() &&
       (scratch_.front() < 1 || scratch_.back() > max_item_))
     throw std::invalid_argument("item id outside [1, max_item]");
-  PosVec v;
-  v.reserve(scratch_.size());
+  pos_scratch_.clear();
+  pos_scratch_.reserve(scratch_.size());
   Item prev = 0;
   for (const Item item : scratch_) {
-    v.push_back(item - prev);
+    pos_scratch_.push_back(item - prev);
     prev = item;
   }
-  return v;
+  return pos_scratch_;
 }
 
 void IncrementalPlt::add(std::span<const Item> transaction) {
-  const PosVec v = encode(transaction);
+  const std::span<const Pos> v = encode(transaction);
   if (v.empty()) return;
   plt_.add(v, 1);
   for (const Item item : scratch_) item_supports_[item] += 1;
@@ -39,7 +40,7 @@ void IncrementalPlt::add(std::span<const Item> transaction) {
 }
 
 void IncrementalPlt::remove(std::span<const Item> transaction) {
-  const PosVec v = encode(transaction);
+  const std::span<const Pos> v = encode(transaction);
   if (v.empty()) return;
   Partition* partition =
       plt_.partition(static_cast<std::uint32_t>(v.size()));
@@ -105,7 +106,8 @@ tdb::Database IncrementalPlt::to_database() const {
 
 std::size_t IncrementalPlt::memory_usage() const {
   return plt_.memory_usage() + item_supports_.capacity() * sizeof(Count) +
-         scratch_.capacity() * sizeof(Item);
+         scratch_.capacity() * sizeof(Item) +
+         pos_scratch_.capacity() * sizeof(Pos);
 }
 
 }  // namespace plt::core

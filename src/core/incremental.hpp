@@ -56,13 +56,17 @@ class IncrementalPlt {
   std::size_t memory_usage() const;
 
  private:
-  PosVec encode(std::span<const Item> transaction) const;
+  /// Encodes into pos_scratch_ and returns a span over it — add/remove are
+  /// allocation-free once the scratch is warm, and the span feeds
+  /// Partition::find / Plt::add without a temporary vector copy.
+  std::span<const Pos> encode(std::span<const Item> transaction) const;
 
   Item max_item_;
   Plt plt_;
   std::vector<Count> item_supports_;
   Count transactions_ = 0;
   mutable std::vector<Item> scratch_;
+  mutable PosVec pos_scratch_;
 };
 
 }  // namespace plt::core

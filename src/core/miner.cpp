@@ -8,9 +8,12 @@
 #include "baselines/eclat.hpp"
 #include "baselines/fpgrowth.hpp"
 #include "baselines/hmine.hpp"
+#include <stdexcept>
+
 #include "core/builder.hpp"
 #include "core/conditional.hpp"
 #include "core/topdown.hpp"
+#include "kernels/kernels.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
@@ -139,6 +142,10 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
 MineResult mine(const tdb::Database& db, Count min_support,
                 Algorithm algorithm, const MineOptions& options) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  if (!kernels::select_backend(options.kernel_backend))
+    throw std::invalid_argument("mine: unknown or unavailable kernel "
+                                "backend \"" +
+                                options.kernel_backend + '"');
   const MiningControl* control = options.control;
   const ResilienceScope scope(control);
   switch (algorithm) {

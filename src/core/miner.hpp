@@ -43,6 +43,12 @@ struct MineOptions {
   /// Cooperative cancellation / deadline / memory budget, checked at
   /// projection boundaries on every algorithm path. Null = unlimited.
   const MiningControl* control = nullptr;
+  /// Kernel backend for this and subsequent mines ("", "auto", "scalar",
+  /// "simd", "sse42", "avx2" — see kernels::select_backend). Empty keeps
+  /// the process-wide selection; the switch is process-wide because every
+  /// backend computes identical functions. Unknown or unavailable names
+  /// throw std::invalid_argument.
+  std::string kernel_backend;
 };
 
 struct MineResult {

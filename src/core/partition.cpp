@@ -1,7 +1,8 @@
 #include "core/partition.hpp"
 
 #include <algorithm>
-#include <cstring>
+
+#include "kernels/kernels.hpp"
 
 namespace plt::core {
 
@@ -19,22 +20,15 @@ Partition::Partition(std::uint32_t length) : length_(length) {
 }
 
 std::uint64_t Partition::hash(std::span<const Pos> v) {
-  // FNV-1a over the raw position words, finalized with a splitmix round for
-  // avalanche — fast and adequate for gap vectors.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const Pos p : v) {
-    h ^= p;
-    h *= 0x100000001b3ULL;
-  }
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  return h;
+  // Kernel-backed lane hash. Every backend computes the same value
+  // (kernels contract rule #1), so index layout and any hash-ordered
+  // iteration downstream are backend-independent.
+  return kernels::active().hash_positions(v.data(), v.size());
 }
 
 bool Partition::keys_equal(EntryId id, std::span<const Pos> v) const {
-  return std::memcmp(arena_.data() + entries_[id].offset, v.data(),
-                     length_ * sizeof(Pos)) == 0;
+  return kernels::active().equals_positions(arena_.data() + entries_[id].offset,
+                                            v.data(), length_);
 }
 
 Partition::EntryId Partition::find(std::span<const Pos> v) const {

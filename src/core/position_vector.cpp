@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "kernels/kernels.hpp"
+
 namespace plt::core {
 
 PosVec to_positions(std::span<const Rank> ranks) {
@@ -29,9 +31,7 @@ std::vector<Rank> to_ranks(std::span<const Pos> positions) {
 }
 
 Rank vector_sum(std::span<const Pos> positions) {
-  Rank acc = 0;
-  for (const Pos p : positions) acc += p;
-  return acc;
+  return kernels::active().sum_positions(positions.data(), positions.size());
 }
 
 bool is_valid(std::span<const Pos> positions, Rank max_rank) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
+
 namespace plt::core {
 
 void ProjectionStats::merge(const ProjectionStats& other) {
@@ -40,14 +42,23 @@ ProjectionEngine::Frame& ProjectionEngine::acquire(std::size_t depth) {
 bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
                                     Count min_support, bool filter_items,
                                     const std::vector<Item>& parent_items) {
+  // Peel the whole conditional arena to absolute ranks in one kernel call:
+  // sums_[k] is the running mod-2^32 total of every gap up to k, and each
+  // record re-bases by subtracting the sum just before its offset — exact
+  // under wrap-around, and the wide prefix-sum is where the SIMD backends
+  // earn their keep (see kernels.hpp peel_prefixes).
+  const std::vector<Pos>& arena = cond_.arena();
+  sums_.resize(arena.size());
+  const kernels::Dispatch& k = kernels::active();
+  k.peel_prefixes(arena.data(), sums_.data(), arena.size());
+
   // Local support of every parent rank appearing in the conditional db.
   support_.assign(parent_max, 0);
   for (const FlatCondDb::Record& r : cond_.records()) {
-    Rank acc = 0;
-    for (const Pos p : cond_.positions(r)) {
-      acc += p;
-      support_[acc - 1] += r.freq;
-    }
+    const Rank base = r.offset == 0 ? 0 : sums_[r.offset - 1];
+    const std::uint32_t end = r.offset + r.len;
+    for (std::uint32_t i = r.offset; i < end; ++i)
+      support_[sums_[i] - base - 1] += r.freq;
   }
 
   const Count keep_threshold = filter_items ? min_support : 1;
@@ -66,11 +77,11 @@ bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
   stats_.bytes_recycled += retained;
   for (const FlatCondDb::Record& rec : cond_.records()) {
     mapped_.clear();
-    Rank acc = 0;
+    const Rank base = rec.offset == 0 ? 0 : sums_[rec.offset - 1];
+    const std::uint32_t end = rec.offset + rec.len;
     Rank prev_child = 0;
-    for (const Pos p : cond_.positions(rec)) {
-      acc += p;
-      const Rank c = to_child_[acc - 1];
+    for (std::uint32_t i = rec.offset; i < end; ++i) {
+      const Rank c = to_child_[sums_[i] - base - 1];
       if (c == 0) continue;  // filtered item
       mapped_.push_back(c - prev_child);
       prev_child = c;
@@ -158,6 +169,7 @@ std::size_t ProjectionEngine::memory_usage() const {
              frame->item_of.capacity() * sizeof(Item);
   bytes += support_.capacity() * sizeof(Count) +
            to_child_.capacity() * sizeof(Rank) +
+           sums_.capacity() * sizeof(Rank) +
            mapped_.capacity() * sizeof(Pos) +
            emitted_.capacity() * sizeof(Item);
   return bytes;

@@ -78,6 +78,9 @@ class FlatCondDb {
     return {arena_.data() + r.offset, r.len};
   }
   const std::vector<Record>& records() const { return records_; }
+  /// The raw gap arena, all records back to back — the projection engine
+  /// peels the whole thing with one kernel call and re-bases per record.
+  const std::vector<Pos>& arena() const { return arena_; }
 
  private:
   std::vector<Pos> arena_;
@@ -136,6 +139,7 @@ class ProjectionEngine {
   FlatCondDb cond_;
   std::vector<Count> support_;  ///< scratch: local support per parent rank
   std::vector<Rank> to_child_;  ///< scratch: parent rank -> child rank
+  std::vector<Rank> sums_;      ///< scratch: peeled prefix sums of the arena
   PosVec mapped_;               ///< scratch: one re-mapped child vector
   Itemset emitted_;             ///< scratch: sorted itemset handed to sinks
   ProjectionStats stats_;

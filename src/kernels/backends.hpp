@@ -1,0 +1,14 @@
+// Internal: per-backend table accessors, defined only in the backend TUs
+// that the build compiled in (src/CMakeLists.txt gates them on PLT_SIMD and
+// compiler support). dispatch.cpp references each symbol only under the
+// matching PLT_KERNELS_HAVE_* define.
+#pragma once
+
+#include "kernels/kernels.hpp"
+
+namespace plt::kernels {
+
+const Dispatch* sse42_table();
+const Dispatch* avx2_table();
+
+}  // namespace plt::kernels

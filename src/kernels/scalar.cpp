@@ -1,0 +1,31 @@
+#include "kernels/scalar_impl.hpp"
+
+namespace plt::kernels {
+
+namespace {
+
+constexpr Dispatch kScalarDispatch = {
+    Backend::kScalar,
+    "scalar",
+    detail::scalar_peel_prefixes,
+    detail::scalar_hash_positions,
+    detail::scalar_equals_positions,
+    detail::scalar_encode_varint_block,
+    detail::scalar_decode_varint_block,
+    detail::scalar_intersect_sorted,
+    detail::scalar_intersect_count,
+    detail::scalar_sum_counts,
+    detail::scalar_sum_positions,
+};
+
+}  // namespace
+
+const Dispatch& scalar_dispatch() { return kScalarDispatch; }
+
+std::size_t encoded_block_size(const std::uint32_t* values, std::size_t n) {
+  std::size_t bytes = (n + 3) / 4;  // one control byte per group
+  for (std::size_t i = 0; i < n; ++i) bytes += detail::gv_byte_len(values[i]);
+  return bytes;
+}
+
+}  // namespace plt::kernels

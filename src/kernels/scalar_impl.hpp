@@ -1,0 +1,240 @@
+// Scalar reference implementations, shared as inline functions so the SIMD
+// backends reuse them verbatim for tails and small inputs — the surest way
+// to keep every backend bit-identical to the reference (contract rule #1 in
+// kernels.hpp). These are deliberately straight-line, branch-light loops:
+// they are the differential anchor AND the production path on non-x86.
+#pragma once
+
+#include <cstring>
+
+#include "kernels/kernels.hpp"
+
+namespace plt::kernels::detail {
+
+// ---- hash ----------------------------------------------------------------
+// 8 independent 32-bit lanes (one AVX2 register) absorb full blocks; the
+// lane fold, tail words and splitmix finalizer are scalar in every backend.
+inline constexpr std::uint32_t kHashLaneSeed[8] = {
+    0x9e3779b9u, 0x85ebca6bu, 0xc2b2ae35u, 0x27d4eb2fu,
+    0x165667b1u, 0xd3a2646cu, 0xfd7046c5u, 0xb55a4f09u};
+inline constexpr std::uint32_t kHashLaneMul = 0x9e3779b1u;
+inline constexpr std::uint64_t kHashFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kHashFnvPrime = 0x100000001b3ull;
+
+inline std::uint32_t rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+/// Folds the 8 lanes, the tail words starting at `i`, and the length into
+/// the final 64-bit value. Shared by every backend after block absorption.
+inline std::uint64_t hash_finish(const std::uint32_t lanes[8],
+                                 const std::uint32_t* v, std::size_t i,
+                                 std::size_t n) {
+  std::uint64_t h = kHashFnvOffset ^ (static_cast<std::uint64_t>(n) *
+                                      kHashFnvPrime);
+  for (int j = 0; j < 8; ++j) {
+    h ^= lanes[j];
+    h *= kHashFnvPrime;
+  }
+  for (; i < n; ++i) {
+    h ^= v[i];
+    h *= kHashFnvPrime;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+inline std::uint64_t scalar_hash_positions(const std::uint32_t* v,
+                                           std::size_t n) {
+  std::uint32_t lanes[8];
+  std::memcpy(lanes, kHashLaneSeed, sizeof(lanes));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    for (std::size_t j = 0; j < 8; ++j)
+      lanes[j] = rotl32((lanes[j] ^ v[i + j]) * kHashLaneMul, 13);
+  return hash_finish(lanes, v, i, n);
+}
+
+// ---- prefix peel ---------------------------------------------------------
+
+inline void scalar_peel_prefixes(const std::uint32_t* gaps,
+                                 std::uint32_t* sums, std::size_t n) {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += gaps[i];  // mod 2^32 by design; callers re-base per record
+    sums[i] = acc;
+  }
+}
+
+// ---- equality ------------------------------------------------------------
+
+inline bool scalar_equals_positions(const std::uint32_t* a,
+                                    const std::uint32_t* b, std::size_t n) {
+  return std::memcmp(a, b, n * sizeof(std::uint32_t)) == 0;
+}
+
+// ---- group varint --------------------------------------------------------
+
+inline unsigned gv_byte_len(std::uint32_t x) {
+  return 1u + (x > 0xffu) + (x > 0xffffu) + (x > 0xffffffu);
+}
+
+inline std::size_t scalar_encode_varint_block(const std::uint32_t* values,
+                                              std::size_t n,
+                                              std::uint8_t* out) {
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < n; i += 4) {
+    const std::size_t k = n - i < 4 ? n - i : 4;
+    const std::size_t control = o++;
+    std::uint8_t c = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::uint32_t x = values[i + j];
+      const unsigned len = gv_byte_len(x);
+      c = static_cast<std::uint8_t>(c | ((len - 1u) << (2 * j)));
+      for (unsigned b = 0; b < len; ++b) {
+        out[o++] = static_cast<std::uint8_t>(x);
+        x >>= 8;
+      }
+    }
+    out[control] = c;
+  }
+  return o;
+}
+
+/// Decodes from (consumed, produced) onward — the shared tail used by the
+/// SIMD decoders after their full-group fast path.
+inline std::size_t scalar_decode_tail(const std::uint8_t* in,
+                                      std::size_t in_len, std::uint32_t* out,
+                                      std::size_t n, std::size_t consumed,
+                                      std::size_t produced) {
+  while (produced < n) {
+    if (consumed >= in_len) return kDecodeError;
+    const std::uint8_t c = in[consumed++];
+    const std::size_t k = n - produced < 4 ? n - produced : 4;
+    for (std::size_t j = 0; j < k; ++j) {
+      const unsigned len = ((c >> (2 * j)) & 3u) + 1u;
+      if (in_len - consumed < len) return kDecodeError;
+      std::uint32_t x = 0;
+      for (unsigned b = 0; b < len; ++b)
+        x |= static_cast<std::uint32_t>(in[consumed + b]) << (8 * b);
+      out[produced++] = x;
+      consumed += len;
+    }
+  }
+  return consumed;
+}
+
+inline std::size_t scalar_decode_varint_block(const std::uint8_t* in,
+                                              std::size_t in_len,
+                                              std::uint32_t* out,
+                                              std::size_t n) {
+  return scalar_decode_tail(in, in_len, out, n, 0, 0);
+}
+
+// ---- sorted intersection -------------------------------------------------
+
+/// Size ratio beyond which every backend switches from merging to galloping
+/// binary search over the larger list.
+inline constexpr std::size_t kGallopRatio = 32;
+
+inline std::size_t gallop_lower_bound(const std::uint32_t* data,
+                                      std::size_t lo, std::size_t size,
+                                      std::uint32_t key) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < size && data[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > size) hi = size;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Galloping intersection: `small` iterated, `large` searched. `out` may be
+/// null (count-only). Output order follows `small`, which is ascending, so
+/// the result is the canonical sorted intersection either way.
+inline std::size_t gallop_intersect(const std::uint32_t* small_v,
+                                    std::size_t ns,
+                                    const std::uint32_t* large_v,
+                                    std::size_t nl, std::uint32_t* out) {
+  std::size_t count = 0;
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    cursor = gallop_lower_bound(large_v, cursor, nl, small_v[i]);
+    if (cursor == nl) break;
+    if (large_v[cursor] == small_v[i]) {
+      if (out != nullptr) out[count] = small_v[i];
+      ++count;
+      ++cursor;
+    }
+  }
+  return count;
+}
+
+inline std::size_t scalar_intersect_sorted(const std::uint32_t* a,
+                                           std::size_t na,
+                                           const std::uint32_t* b,
+                                           std::size_t nb,
+                                           std::uint32_t* out) {
+  if (na == 0 || nb == 0) return 0;
+  if (na > nb) {
+    const std::uint32_t* t = a;
+    a = b;
+    b = t;
+    const std::size_t tn = na;
+    na = nb;
+    nb = tn;
+  }
+  if (nb / na >= kGallopRatio) return gallop_intersect(a, na, b, nb, out);
+  std::size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      if (out != nullptr) out[count] = a[i];
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+inline std::size_t scalar_intersect_count(const std::uint32_t* a,
+                                          std::size_t na,
+                                          const std::uint32_t* b,
+                                          std::size_t nb) {
+  return scalar_intersect_sorted(a, na, b, nb, nullptr);
+}
+
+// ---- reductions ----------------------------------------------------------
+
+inline std::uint64_t scalar_sum_counts(const std::uint64_t* counts,
+                                       std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += counts[i];
+  return acc;
+}
+
+inline std::uint32_t scalar_sum_positions(const std::uint32_t* positions,
+                                          std::size_t n) {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += positions[i];
+  return acc;
+}
+
+}  // namespace plt::kernels::detail

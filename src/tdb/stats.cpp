@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "kernels/kernels.hpp"
 #include "util/memory.hpp"
 
 namespace plt::tdb {
@@ -33,15 +34,16 @@ Stats compute_stats(const Database& db) {
   if (s.distinct_items > 0)
     s.density = s.avg_len / static_cast<double>(s.distinct_items);
 
-  // Gini via the sorted-values formula.
+  // Gini via the sorted-values formula; the support mass is a kernel
+  // reduction (counts are u64, and the sum fits: it equals total_items).
   if (nonzero.size() > 1) {
     std::sort(nonzero.begin(), nonzero.end());
     const auto n = static_cast<double>(nonzero.size());
-    double weighted = 0.0, total = 0.0;
-    for (std::size_t i = 0; i < nonzero.size(); ++i) {
+    const double total = static_cast<double>(
+        kernels::active().sum_counts(nonzero.data(), nonzero.size()));
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < nonzero.size(); ++i)
       weighted += static_cast<double>(i + 1) * static_cast<double>(nonzero[i]);
-      total += static_cast<double>(nonzero[i]);
-    }
     s.support_gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
   }
   return s;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
+
 namespace plt::tdb {
 
 VerticalView::VerticalView(const Database& db) : transactions_(db.size()) {
@@ -26,11 +28,19 @@ std::size_t VerticalView::memory_usage() const {
 }
 
 std::vector<Tid> intersect(std::span<const Tid> a, std::span<const Tid> b) {
-  std::vector<Tid> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  // Kernel-backed: galloping + block compares instead of std::
+  // set_intersection. The +4 slack is the kernel's compress-store
+  // contract; resize truncates to the live prefix.
+  std::vector<Tid> out(std::min(a.size(), b.size()) + 4);
+  const std::size_t n = kernels::active().intersect_sorted(
+      a.data(), a.size(), b.data(), b.size(), out.data());
+  out.resize(n);
   return out;
+}
+
+std::size_t intersect_count(std::span<const Tid> a, std::span<const Tid> b) {
+  return kernels::active().intersect_count(a.data(), a.size(), b.data(),
+                                           b.size());
 }
 
 std::vector<Tid> difference(std::span<const Tid> a, std::span<const Tid> b) {

@@ -32,8 +32,12 @@ class VerticalView {
   std::size_t transactions_ = 0;
 };
 
-/// Sorted-set intersection of two tidsets.
+/// Sorted-set intersection of two tidsets (kernel-backed: galloping on
+/// asymmetric sizes, SIMD block compares otherwise).
 std::vector<Tid> intersect(std::span<const Tid> a, std::span<const Tid> b);
+
+/// |intersect(a, b)| without materializing the result — support counting.
+std::size_t intersect_count(std::span<const Tid> a, std::span<const Tid> b);
 
 /// Sorted-set difference a \ b (for diffsets).
 std::vector<Tid> difference(std::span<const Tid> a, std::span<const Tid> b);

@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "compress/blob_format.hpp"
 #include "compress/codec.hpp"
 #include "compress/index.hpp"
 #include "compress/varint.hpp"
@@ -97,6 +98,57 @@ TEST(Codec, RoundTripRealWorkload) {
   EXPECT_EQ(plt_contents(decoded), plt_contents(built.plt));
   // The varint encoding must beat the in-memory footprint comfortably.
   EXPECT_LT(blob.size(), built.plt.memory_usage());
+}
+
+TEST(Codec, BlockAndScalarSubformatsRoundTrip) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 800;
+  cfg.items = 80;
+  cfg.seed = 11;
+  const auto db = datagen::generate_quest(cfg);
+  const auto built = core::build_from_database(db, 3);
+
+  EncodeOptions block;
+  block.block_frames = true;
+  EncodeOptions scalar;
+  scalar.block_frames = false;
+
+  const auto block_blob = encode_plt(built.plt, block);
+  const auto scalar_blob = encode_plt(built.plt, scalar);
+  EXPECT_EQ(block_blob.size(), encoded_size(built.plt, block));
+  EXPECT_EQ(scalar_blob.size(), encoded_size(built.plt, scalar));
+  EXPECT_NE(block_blob, scalar_blob);  // distinct subformats on the wire
+
+  // Both subformats decode to the same PLT.
+  EXPECT_EQ(plt_contents(decode_plt(block_blob)), plt_contents(built.plt));
+  EXPECT_EQ(plt_contents(decode_plt(scalar_blob)), plt_contents(built.plt));
+}
+
+TEST(Codec, ScalarFrameBlobIndexStillWorks) {
+  EncodeOptions scalar;
+  scalar.block_frames = false;
+  const auto plt = sample_plt();
+  const auto blob = encode_plt(plt, scalar);
+  const auto index = build_index(blob);
+  for (const auto& range : index.partitions) EXPECT_FALSE(range.block_coded);
+  std::map<core::PosVec, Count> seen;
+  for (Rank sum = 1; sum <= index.max_rank; ++sum)
+    decode_bucket(blob, index, sum, [&](std::span<const Pos> v, Count freq) {
+      seen[core::PosVec(v.begin(), v.end())] = freq;
+    });
+  EXPECT_EQ(seen, plt_contents(plt));
+}
+
+TEST(Codec, BlockFlagRejectedOnV1) {
+  // A v1 blob may not carry the v2-only block-coded frame flag.
+  std::vector<std::uint8_t> blob{'P', 'L', 'T', '1'};
+  put_varint(blob, 4);  // max_rank
+  put_varint(blob, 1);  // one partition
+  put_varint(blob, 1u | kFrameBlockCoded);  // flagged length: invalid on v1
+  put_varint(blob, 1);  // one entry
+  put_varint(blob, 1);  // position
+  put_varint(blob, 1);  // freq
+  EXPECT_THROW(decode_plt(blob), std::runtime_error);
 }
 
 TEST(Codec, BadMagicThrows) {

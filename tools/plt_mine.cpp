@@ -22,6 +22,7 @@
 #include "core/miner.hpp"
 #include "core/queries.hpp"
 #include "datagen/registry.hpp"
+#include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/experiment.hpp"
 #include "rules/generator.hpp"
@@ -44,6 +45,7 @@ int usage(const char* argv0) {
       << "  [--contains \"ITEMS\"]\n"
       << "  [--rules [--minconf C]] [--serialize FILE] [--stats]\n"
       << "  [--output text|csv] [--limit N] [--scale S]\n"
+      << "  [--backend scalar|sse42|avx2|simd|auto]\n"
       << "datasets: ";
   for (const auto& spec : datagen::dataset_registry())
     std::cerr << spec.name << ' ';
@@ -82,6 +84,7 @@ void print_itemsets(const core::FrequentItemsets& itemsets,
 
 int main(int argc, char** argv) {
   const Args args(argc, argv);
+  if (!harness::apply_backend_flag(args, /*announce=*/false)) return 2;
   const std::string format = args.get("output", "text");
   const auto limit = static_cast<std::size_t>(args.get_int("limit", 50));
 
