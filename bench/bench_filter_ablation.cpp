@@ -9,12 +9,14 @@
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E14",

@@ -16,6 +16,7 @@
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
 #include "kernels/kernels.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -123,14 +124,17 @@ double time_mine(const tdb::Database& db, Count minsup,
 
 void write_json(const std::string& path, double scale,
                 const std::vector<MicroRow>& micro,
-                const std::vector<EndToEndRow>& e2e) {
+                const std::vector<EndToEndRow>& e2e,
+                const std::string& trace_summary) {
   std::ofstream out(path);
   out << "{\n  \"experiment\": \"E18\",\n"
       << "  \"title\": \"vectorized kernel layer: scalar vs SIMD\",\n"
       << "  \"scale\": " << scale << ",\n"
       << "  \"best_backend\": \""
-      << kernels::backend_name(kernels::best_supported()) << "\",\n"
-      << "  \"micro\": [\n";
+      << kernels::backend_name(kernels::best_supported()) << "\",\n";
+  if (!trace_summary.empty())
+    out << "  \"trace\": " << trace_summary << ",\n";
+  out << "  \"micro\": [\n";
   for (std::size_t i = 0; i < micro.size(); ++i) {
     const MicroRow& r = micro[i];
     out << "    {\"kernel\": \"" << r.kernel << "\", \"backend\": \""
@@ -160,6 +164,7 @@ void write_json(const std::string& path, double scale,
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
   const std::string out_path = args.get("out", "BENCH_kernels.json");
 
@@ -359,7 +364,15 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n' << e2e_table.to_text();
 
-  write_json(out_path, scale, micro, e2e);
+  // With --trace the run-wide session saw the end-to-end mines (the micro
+  // loops call raw dispatch entries, which record nothing): finish it so
+  // the kernel call/byte counters ride along in the report.
+  std::string trace_summary;
+  if (trace_scope.active()) {
+    trace_scope.write();
+    trace_summary = harness::trace_summary_json(*trace_scope.root());
+  }
+  write_json(out_path, scale, micro, e2e, trace_summary);
   std::cout << "\nWrote " << out_path << ".\n"
             << "Expected shape: the SIMD rows beat scalar on the\n"
             << "bandwidth-bound kernels (intersect, varint blocks, prefix\n"

@@ -11,6 +11,7 @@
 #include "core/topdown.hpp"
 #include "harness/backend.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   constexpr Item A = 1, B = 2, C = 3, D = 4, E = 5, F = 6;
   const auto db = tdb::Database::from_transactions({
       {A, B, C}, {A, B, C}, {A, B, C, D}, {A, B, D, E}, {B, C, D},

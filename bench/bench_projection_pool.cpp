@@ -17,6 +17,8 @@
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
+#include "obs/trace.hpp"
 #include "parallel/partition_miner.hpp"
 #include "util/args.hpp"
 #include "util/memory.hpp"
@@ -36,6 +38,8 @@ struct Row {
   double warm_seconds = 0.0;        ///< warm-pool rerun, no control
   double controlled_seconds = 0.0;  ///< warm-pool rerun + armed control
   double scalar_kernel_seconds = 0.0;  ///< warm rerun, scalar kernel backend
+  double traced_seconds = 0.0;  ///< warm rerun with a live trace session
+  std::uint64_t trace_spans = 0;  ///< spans recorded by that rerun
   std::uint64_t control_checks = 0;
   core::ProjectionStats stats;
 };
@@ -101,11 +105,13 @@ double time_controlled(const Prepared& p, Count minsup,
 }
 
 void write_json(const std::string& path, const std::vector<Row>& rows,
-                double scale) {
+                double scale, const std::string& trace_summary) {
   std::ofstream out(path);
   out << "{\n  \"experiment\": \"E17\",\n"
       << "  \"title\": \"allocation-free conditional projection engine\",\n"
-      << "  \"scale\": " << scale << ",\n  \"rows\": [\n";
+      << "  \"scale\": " << scale << ",\n";
+  if (!trace_summary.empty()) out << "  \"trace\": " << trace_summary << ",\n";
+  out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     const double speedup =
@@ -132,6 +138,11 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
         << (r.warm_seconds > 0
                 ? r.controlled_seconds / r.warm_seconds - 1.0
                 : 0.0)
+        << ", \"traced_seconds\": " << r.traced_seconds
+        << ", \"trace_overhead\": "
+        << (r.warm_seconds > 0 ? r.traced_seconds / r.warm_seconds - 1.0
+                               : 0.0)
+        << ", \"trace_spans\": " << r.trace_spans
         << ", \"control_checks\": " << r.control_checks
         << ", \"speedup\": " << speedup
         << ", \"projections_built\": " << r.stats.projections_built
@@ -152,6 +163,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
   const std::string out_path =
       args.get("out", "BENCH_projection_pool.json");
@@ -171,7 +183,7 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   Table table({"dataset", "minsup", "frequent", "recursive", "pooled",
-               "speedup", "kern spd", "ctl ovh%", "ctl checks", "projections",
+               "speedup", "kern spd", "ctl ovh%", "trc ovh%", "projections",
                "fresh", "recycled", "recycled B"});
   bool all_agree = true;
   for (const auto& c : cases) {
@@ -226,6 +238,30 @@ int main(int argc, char** argv) {
         if (rep == 0 || s < scalar_kernel_seconds) scalar_kernel_seconds = s;
       }
       kernels::set_backend(selected);
+
+      // Warm rerun with a live trace session: every span/counter site
+      // records for real, so the delta over the untraced warm rerun is the
+      // enabled-mode tracing cost (E19). The disabled-mode cost is the warm
+      // column itself, compared against a build without the obs layer.
+      double traced_seconds = 0.0;
+      std::uint64_t trace_spans = 0;
+      core::FrequentItemsets traced_out;
+      for (int rep = 0; rep < 3; ++rep) {
+        traced_out = {};
+        obs::TraceSession session;
+        const double t = time_pooled(p, minsup, engine, traced_out);
+        const auto tree = session.finish();
+        if (rep == 0 || t < traced_seconds) {
+          traced_seconds = t;
+          trace_spans = tree->span_total();
+        }
+      }
+      if (!core::FrequentItemsets::equal(recursive_out, traced_out)) {
+        std::cerr << "DISAGREEMENT (traced) at " << c.dataset
+                  << " minsup=" << minsup << "\n";
+        all_agree = false;
+      }
+
       if (!core::FrequentItemsets::equal(recursive_out, scalar_out)) {
         std::cerr << "DISAGREEMENT (scalar backend) at " << c.dataset
                   << " minsup=" << minsup << "\n";
@@ -252,6 +288,8 @@ int main(int argc, char** argv) {
       row.warm_seconds = warm_seconds;
       row.controlled_seconds = controlled_seconds;
       row.scalar_kernel_seconds = scalar_kernel_seconds;
+      row.traced_seconds = traced_seconds;
+      row.trace_spans = trace_spans;
       row.control_checks = control_checks;
       row.stats = cold_stats;
       rows.push_back(row);
@@ -269,7 +307,10 @@ int main(int argc, char** argv) {
                ? std::to_string(
                      (controlled_seconds / warm_seconds - 1.0) * 100.0)
                : "-",
-           std::to_string(control_checks),
+           warm_seconds > 0
+               ? std::to_string(
+                     (traced_seconds / warm_seconds - 1.0) * 100.0)
+               : "-",
            std::to_string(row.stats.projections_built),
            std::to_string(row.stats.fresh_allocations),
            std::to_string(row.stats.recycled_allocations),
@@ -293,7 +334,14 @@ int main(int argc, char** argv) {
               << (controlled_total / warm_total - 1.0) * 100.0
               << "% (target < 2%)\n";
 
-  write_json(out_path, rows, scale);
+  // With --trace the run-wide session also covered the sweep: finish it
+  // now so its summary can ride along in the report.
+  std::string trace_summary;
+  if (trace_scope.active()) {
+    trace_scope.write();
+    trace_summary = harness::trace_summary_json(*trace_scope.root());
+  }
+  write_json(out_path, rows, scale, trace_summary);
   std::cout << "\nWrote " << out_path << ".\n"
             << "Expected shape: the recursive baseline pays one fresh PLT\n"
             << "(arenas + hash indexes + buckets) per projection; the pooled\n"

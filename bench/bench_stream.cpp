@@ -9,6 +9,7 @@
 #include "datagen/clickstream.hpp"
 #include "harness/backend.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
 #include "util/args.hpp"
 #include "util/memory.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E12", "sliding-window stream mining",

@@ -11,6 +11,7 @@
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
+#include "harness/tracing.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/memory.hpp"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
 
   harness::print_banner(std::cout, "E1", "structure size & compression",

@@ -15,6 +15,7 @@
 #include "datagen/dense.hpp"
 #include "datagen/quest.hpp"
 #include "harness/backend.hpp"
+#include "harness/tracing.hpp"
 #include "tdb/bitmap.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -192,6 +193,7 @@ BENCHMARK(BM_PairDecodeThenIncludes);
 int main(int argc, char** argv) {
   const plt::Args args(argc, argv);
   if (!plt::harness::apply_backend_flag(args)) return 2;
+  plt::harness::TraceScope trace_scope(args);
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];

@@ -6,6 +6,7 @@
 
 #include "compress/varint.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32c.hpp"
 
 namespace plt::compress {
@@ -142,6 +143,8 @@ void decode_blob_entry(std::span<const std::uint8_t> blob,
       blob.data() + offset, blob.size() - offset, v.data(), length + 2);
   if (consumed == kernels::kDecodeError)
     throw std::runtime_error("decode_blob_entry: truncated block entry");
+  obs::count_kernel("kernel.decode_varint_block.calls",
+                    "kernel.decode_varint_block.bytes", consumed);
   freq = static_cast<Count>(v[length]) |
          (static_cast<Count>(v[length + 1]) << 32);
   v.resize(length);

@@ -6,6 +6,7 @@
 #include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 #include "tdb/database.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
@@ -31,6 +32,7 @@ void block_entry_values(std::span<const Pos> v, Count freq,
 
 std::vector<std::uint8_t> encode_plt(const core::Plt& plt,
                                      const EncodeOptions& options) {
+  PLT_SPAN("codec-encode");
   PLT_FAILPOINT("codec.encode");
   std::vector<std::uint8_t> out;
   out.reserve(64);
@@ -59,6 +61,8 @@ std::vector<std::uint8_t> encode_plt(const core::Plt& plt,
         scratch.resize(kernels::encoded_block_bound(vals.size()));
         const std::size_t n = kernels::active().encode_varint_block(
             vals.data(), vals.size(), scratch.data());
+        obs::count_kernel("kernel.encode_varint_block.calls",
+                          "kernel.encode_varint_block.bytes", n);
         payload.insert(payload.end(), scratch.begin(),
                        scratch.begin() + static_cast<std::ptrdiff_t>(n));
       } else {
@@ -78,6 +82,7 @@ std::vector<std::uint8_t> encode_plt(const core::Plt& plt,
 }
 
 core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
+  PLT_SPAN("codec-decode");
   PLT_FAILPOINT("codec.decode");
   const BlobHeader header = read_blob_header(bytes, "decode_plt");
   core::Plt plt(header.max_rank);

@@ -10,6 +10,7 @@
 #include "compress/checkpoint.hpp"
 #include "core/conditional.hpp"
 #include "core/projection_pool.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
 
@@ -81,13 +82,12 @@ class Overlay {
   std::size_t live_bytes_ = 0;
 };
 
-}  // namespace
-
-core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
-                                const std::vector<Item>& item_of,
-                                Count min_support,
-                                const core::ItemsetSink& sink,
-                                OocStats* stats, const OocOptions& options) {
+core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
+                                     const std::vector<Item>& item_of,
+                                     Count min_support,
+                                     const core::ItemsetSink& sink,
+                                     OocStats* stats,
+                                     const OocOptions& options) {
   const core::MiningControl* control = options.control;
   const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
   const std::uint64_t failpoint0 = FailpointRegistry::instance().total_hits();
@@ -147,17 +147,22 @@ core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
   // their streaming pass without emitting: the overlay is a pure function
   // of (blob, ranks processed), so the resumed walk sees byte-identical
   // conditional databases.
-  for (Rank j = index.max_rank; j > index.max_rank - completed; --j) {
-    const auto warm = [&](std::span<const Pos> v, Count freq) {
-      if (v.size() > 1 && freq > 0) {
-        scratch.assign(v.begin(), v.end() - 1);
-        overlay.add(scratch, freq, j - v.back());
-      }
-    };
-    const std::size_t bytes = stream_bucket(blob, index, j, warm);
-    if (stats != nullptr) stats->bytes_decoded += bytes;
-    for (const auto& [v, freq] : overlay.bucket(j)) warm(v, freq);
-    overlay.drop(j);
+  if (completed > 0) {
+    PLT_SPAN("ooc-resume");
+    PLT_TRACE_COUNT("resumed-ranks", completed);
+    for (Rank j = index.max_rank; j > index.max_rank - completed; --j) {
+      const auto warm = [&](std::span<const Pos> v, Count freq) {
+        if (v.size() > 1 && freq > 0) {
+          scratch.assign(v.begin(), v.end() - 1);
+          overlay.add(scratch, freq, j - v.back());
+        }
+      };
+      const std::size_t bytes = stream_bucket(blob, index, j, warm);
+      if (stats != nullptr) stats->bytes_decoded += bytes;
+      PLT_TRACE_COUNT("bytes-decoded", bytes);
+      for (const auto& [v, freq] : overlay.bucket(j)) warm(v, freq);
+      overlay.drop(j);
+    }
   }
 
   Itemset suffix;
@@ -182,6 +187,7 @@ core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
         control->should_stop(overlay.live_bytes() + engine.memory_usage()))
       return finish(control->status());
     PLT_FAILPOINT("ooc.rank");
+    PLT_TRACE_COUNT("ranks", 1);
     record.rank = j;
     record.itemsets.clear();
 
@@ -197,6 +203,7 @@ core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
     };
     const std::size_t bytes = stream_bucket(blob, index, j, consume);
     if (stats != nullptr) stats->bytes_decoded += bytes;
+    PLT_TRACE_COUNT("bytes-decoded", bytes);
     for (const auto& [v, freq] : overlay.bucket(j)) consume(v, freq);
     if (stats != nullptr)
       stats->peak_overlay_bytes =
@@ -229,12 +236,32 @@ core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
     // The rank is complete (streamed, mined, overlay advanced): one record,
     // flushed, makes it durable. A crash before this line re-mines rank j.
     if (writer != nullptr) {
+      PLT_SPAN("checkpoint");
       writer->append(record);
       if (stats != nullptr) stats->checkpoint_records = writer->records_written();
     }
   }
   return finish(control != nullptr ? control->status()
                                    : core::MineStatus::kCompleted);
+}
+
+}  // namespace
+
+core::MineStatus mine_from_blob(std::span<const std::uint8_t> blob,
+                                const std::vector<Item>& item_of,
+                                Count min_support,
+                                const core::ItemsetSink& sink,
+                                OocStats* stats, const OocOptions& options) {
+  obs::AutoSession trace_session;
+  core::MineStatus status;
+  {
+    PLT_SPAN("ooc-mine");
+    status = mine_from_blob_impl(blob, item_of, min_support, sink, stats,
+                                 options);
+  }
+  if (auto trace = trace_session.finish(); stats != nullptr)
+    stats->trace = std::move(trace);
+  return status;
 }
 
 }  // namespace plt::compress

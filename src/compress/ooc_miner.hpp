@@ -12,12 +12,14 @@
 // uninterrupted mine (tests enforce it).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string>
 
 #include "compress/index.hpp"
 #include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
+#include "obs/trace.hpp"
 
 namespace plt::compress {
 
@@ -27,6 +29,10 @@ struct OocStats {
   std::uint64_t checkpoint_records = 0;  ///< rank records written this run
   std::uint64_t resumed_ranks = 0;   ///< ranks replayed from a checkpoint
   core::ResilienceStats resilience;  ///< control/failpoint/CRC activity
+  /// Aggregated span tree of this run when tracing was enabled and no outer
+  /// session owned the walk (same contract as MineResult::trace); null
+  /// otherwise. A resumed run's tree carries the "ooc-resume" span.
+  std::shared_ptr<const obs::TraceNode> trace;
 };
 
 struct OocOptions {

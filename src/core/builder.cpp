@@ -1,9 +1,13 @@
 #include "core/builder.hpp"
 
+#include "obs/trace.hpp"
+
 namespace plt::core {
 
 Plt build_plt(const tdb::Database& ranked_db, Rank max_rank,
               const BuildOptions& options) {
+  PLT_SPAN("build-plt");
+  PLT_TRACE_COUNT("vectors-inserted", ranked_db.size());
   Plt plt(max_rank);
   PosVec v;
   for (std::size_t t = 0; t < ranked_db.size(); ++t) {

@@ -137,15 +137,21 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
   return result;
 }
 
-}  // namespace
+/// The latched MineStatus as a trace counter ("status.completed", ...) so
+/// resilience traces record why a mine stopped — names are static, the
+/// resilience-path tests read them back from the aggregated tree.
+const char* status_counter_name(MineStatus status) {
+  switch (status) {
+    case MineStatus::kCompleted: return "status.completed";
+    case MineStatus::kCancelled: return "status.cancelled";
+    case MineStatus::kDeadlineExceeded: return "status.deadline-exceeded";
+    case MineStatus::kBudgetExceeded: return "status.budget-exceeded";
+  }
+  return "status.unknown";
+}
 
-MineResult mine(const tdb::Database& db, Count min_support,
-                Algorithm algorithm, const MineOptions& options) {
-  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
-  if (!kernels::select_backend(options.kernel_backend))
-    throw std::invalid_argument("mine: unknown or unavailable kernel "
-                                "backend \"" +
-                                options.kernel_backend + '"');
+MineResult mine_impl(const tdb::Database& db, Count min_support,
+                     Algorithm algorithm, const MineOptions& options) {
   const MiningControl* control = options.control;
   const ResilienceScope scope(control);
   switch (algorithm) {
@@ -246,6 +252,32 @@ MineResult mine(const tdb::Database& db, Count min_support,
   }
   PLT_ASSERT(false, "unknown algorithm");
   return {};
+}
+
+}  // namespace
+
+MineResult mine(const tdb::Database& db, Count min_support,
+                Algorithm algorithm, const MineOptions& options) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  if (!kernels::select_backend(options.kernel_backend))
+    throw std::invalid_argument("mine: unknown or unavailable kernel "
+                                "backend \"" +
+                                options.kernel_backend + '"');
+  // Every mining path funnels through here, so this one wrapper gives all
+  // fifteen algorithms their root spans: "mine" > "<algorithm-name>" >
+  // (whatever the path records below — the baselines stay coarse, the PLT
+  // paths add build/rank-loop/projection detail).
+  obs::AutoSession trace_session;
+  MineResult result;
+  {
+    PLT_SPAN("mine");
+    obs::Span algorithm_span(algorithm_name(algorithm));
+    result = mine_impl(db, min_support, algorithm, options);
+    PLT_TRACE_COUNT(status_counter_name(result.status), 1);
+    PLT_TRACE_COUNT("itemsets-total", result.itemsets.size());
+  }
+  result.trace = trace_session.finish();
+  return result;
 }
 
 }  // namespace plt::core

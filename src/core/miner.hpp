@@ -8,6 +8,7 @@
 #include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
 #include "core/projection_pool.hpp"
+#include "obs/trace.hpp"
 #include "tdb/database.hpp"
 #include "tdb/remap.hpp"
 
@@ -68,6 +69,11 @@ struct MineResult {
   /// Set when status == kBudgetExceeded: how to retry within the budget
   /// (e.g. switch to the out-of-core blob path).
   std::string degradation_hint;
+  /// The aggregated span tree of this mine (see obs/trace.hpp), set when
+  /// runtime tracing is enabled (PLT_TRACE / obs::set_enabled) and no outer
+  /// TraceSession was active — an outer session (plt-mine --trace, bench
+  /// --trace) collects across calls instead and this stays null.
+  std::shared_ptr<const obs::TraceNode> trace;
 };
 
 /// Mines `db` at absolute support `min_support` with the chosen algorithm.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace plt::core {
 
@@ -42,6 +43,7 @@ ProjectionEngine::Frame& ProjectionEngine::acquire(std::size_t depth) {
 bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
                                     Count min_support, bool filter_items,
                                     const std::vector<Item>& parent_items) {
+  PLT_SPAN("projection");
   // Peel the whole conditional arena to absolute ranks in one kernel call:
   // sums_[k] is the running mod-2^32 total of every gap up to k, and each
   // record re-bases by subtracting the sum just before its offset — exact
@@ -51,6 +53,9 @@ bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
   sums_.resize(arena.size());
   const kernels::Dispatch& k = kernels::active();
   k.peel_prefixes(arena.data(), sums_.data(), arena.size());
+  obs::count_kernel("kernel.peel_prefixes.calls",
+                    "kernel.peel_prefixes.bytes",
+                    arena.size() * sizeof(Pos));
 
   // Local support of every parent rank appearing in the conditional db.
   support_.assign(parent_max, 0);
@@ -106,6 +111,10 @@ void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
     const std::vector<Item>* items;
     Rank j;
   };
+  // One span for the whole iterative walk (the explicit stack interleaves
+  // depths, so per-node RAII spans cannot nest here); per-rank and
+  // per-projection activity lands in counters and the "projection" span.
+  PLT_SPAN("rank-loop");
   std::vector<Level> stack;
   stack.push_back({&plt, &item_of, plt.max_rank()});
   interrupted_ = false;
@@ -142,12 +151,15 @@ void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
           p.add(stored, freq);
         });
     stats_.entries_projected += cond_.size();
+    PLT_TRACE_COUNT("ranks-processed", 1);
+    PLT_TRACE_COUNT("entries-projected", cond_.size());
     if (support < min_support) continue;  // anti-monotone cut
 
     suffix.push_back((*top.items)[j - 1]);
     emitted_ = suffix;
     std::sort(emitted_.begin(), emitted_.end());
     sink(emitted_, support);
+    PLT_TRACE_COUNT("itemsets-emitted", 1);
 
     if (!cond_.empty()) {
       Frame& frame = acquire(stack.size() - 1);

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace plt::core {
 
 RankedView build_ranked_view(const tdb::Database& db, Count min_support,
                              tdb::ItemOrder order) {
+  PLT_SPAN("build-ranked-view");
+  PLT_TRACE_COUNT("transactions", db.size());
   RankedView view;
   view.min_support = min_support;
   view.remap = tdb::build_remap(db, min_support, order);

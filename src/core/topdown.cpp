@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "core/builder.hpp"
+#include "obs/trace.hpp"
 
 namespace plt::core {
 
@@ -40,6 +41,7 @@ void check_guards(const RankedView& view, const TopDownOptions& options) {
 
 Plt topdown_expand(const RankedView& view, TopDownVariant variant,
                    const TopDownOptions& options) {
+  PLT_SPAN("expand");
   check_guards(view, options);
   const auto max_rank =
       static_cast<Rank>(view.alphabet() == 0 ? 1 : view.alphabet());
@@ -100,10 +102,12 @@ void mine_topdown(const RankedView& view, Count min_support,
                   const TopDownOptions& options, TopDownStats* stats) {
   if (view.db.empty() || view.alphabet() == 0) return;
   const Plt table = topdown_expand(view, variant, options);
+  PLT_TRACE_COUNT("expanded-vectors", table.num_vectors());
   if (stats) {
     stats->expanded_vectors = table.num_vectors();
     stats->table_bytes = table.memory_usage();
   }
+  PLT_SPAN("emit");
   bool stopped = false;
   std::uint64_t tick = 0;
   table.for_each([&](Plt::Ref, std::span<const Pos> v,

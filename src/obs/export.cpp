@@ -1,0 +1,90 @@
+// Trace export: canonical JSON (byte-stable when masked — the golden-trace
+// tests compare the masked rendering verbatim) and the folded stack format
+// flamegraph.pl / speedscope consume directly.
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace plt::obs {
+
+namespace {
+
+void escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+void node_json(std::ostream& os, const TraceNode& node, bool masked,
+               int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad << "{\"name\": \"";
+  escape_into(os, node.name);
+  os << "\", \"count\": " << node.count;
+  if (!masked) os << ", \"ns\": " << node.total_ns;
+  if (!node.counters.empty()) {
+    os << ", \"counters\": {";
+    for (std::size_t i = 0; i < node.counters.size(); ++i) {
+      if (i) os << ", ";
+      os << '"';
+      escape_into(os, node.counters[i].first);
+      os << "\": " << node.counters[i].second;
+    }
+    os << '}';
+  }
+  if (!node.children.empty()) {
+    os << ", \"children\": [\n";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      node_json(os, node.children[i], masked, indent + 1);
+      os << (i + 1 < node.children.size() ? ",\n" : "\n");
+    }
+    os << pad << ']';
+  }
+  os << '}';
+}
+
+void folded_lines(std::ostream& os, const TraceNode& node,
+                  const std::string& prefix, bool masked) {
+  const std::string stack =
+      prefix.empty() ? node.name : prefix + ';' + node.name;
+  if (masked) {
+    if (node.count > 0) os << stack << ' ' << node.count << '\n';
+  } else {
+    // Folded values are exclusive (self) times so the flamegraph's widths
+    // add up: children's time is subtracted from the parent's.
+    std::uint64_t child_ns = 0;
+    for (const TraceNode& c : node.children) child_ns += c.total_ns;
+    const std::uint64_t self_ns =
+        node.total_ns > child_ns ? node.total_ns - child_ns : 0;
+    if (self_ns > 0 || node.children.empty())
+      os << stack << ' ' << self_ns << '\n';
+  }
+  for (const TraceNode& c : node.children) folded_lines(os, c, stack, masked);
+}
+
+}  // namespace
+
+std::string to_json(const TraceNode& root,
+                    const TraceExportOptions& options) {
+  std::ostringstream os;
+  os << "{\n  \"format\": \"plt-trace-v1\",\n  \"masked\": "
+     << (options.mask_durations ? "true" : "false") << ",\n";
+  if (!options.mask_durations && !options.backend.empty()) {
+    os << "  \"backend\": \"";
+    escape_into(os, options.backend);
+    os << "\",\n";
+  }
+  os << "  \"root\":\n";
+  node_json(os, root, options.mask_durations, 1);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string to_folded(const TraceNode& root, bool mask_durations) {
+  std::ostringstream os;
+  folded_lines(os, root, "", mask_durations);
+  return os.str();
+}
+
+}  // namespace plt::obs

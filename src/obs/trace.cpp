@@ -1,0 +1,368 @@
+// Recording + aggregation for the tracing layer. Per-thread recording is
+// lock-free (each thread mutates only its own ThreadTrace); the only lock
+// is the collector's registration mutex, taken once per thread per
+// session. Aggregation happens after the traced work quiesced (the mine
+// paths join their workers first), so reading the thread trees needs no
+// synchronization beyond the joins' happens-before.
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace plt::obs {
+
+namespace {
+
+// Node of a per-thread aggregation tree. Names are the caller's static
+// strings; child/counter lookup compares pointers first (same literal,
+// same TU) and falls back to strcmp, so distinct literals with equal text
+// still merge.
+struct Node {
+  const char* name;
+  Node* parent;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::vector<std::pair<const char*, std::uint64_t>> counters;
+  std::vector<std::unique_ptr<Node>> children;
+
+  Node(const char* n, Node* p) : name(n), parent(p) {}
+
+  Node* child(const char* child_name) {
+    for (auto& c : children)
+      if (c->name == child_name || std::strcmp(c->name, child_name) == 0)
+        return c.get();
+    children.push_back(std::make_unique<Node>(child_name, this));
+    return children.back().get();
+  }
+
+  void add(const char* counter_name, std::uint64_t delta) {
+    for (auto& [name_, value] : counters)
+      if (name_ == counter_name || std::strcmp(name_, counter_name) == 0) {
+        value += delta;
+        return;
+      }
+    counters.emplace_back(counter_name, delta);
+  }
+};
+
+constexpr std::size_t kRingCapacity = 256;
+
+}  // namespace
+
+/// One thread's recording state: the aggregation tree rooted at a
+/// synthetic node, the open-span cursor, and the event ring.
+class ThreadTrace {
+ public:
+  ThreadTrace() : root_("trace", nullptr), current_(&root_) {}
+
+  void enter(const char* name) {
+    current_ = current_->child(name);
+    ++current_->count;
+    push_event(name, true);
+  }
+
+  void exit(std::uint64_t elapsed_ns) {
+    if (current_ == &root_) {
+      ++unbalanced_exits_;
+      return;
+    }
+    push_event(current_->name, false);
+    current_->total_ns += elapsed_ns;
+    current_ = current_->parent;
+  }
+
+  void add(const char* name, std::uint64_t delta) {
+    current_->add(name, delta);
+  }
+
+  const Node& root() const { return root_; }
+  std::uint64_t unbalanced_exits() const { return unbalanced_exits_; }
+  std::uint64_t open_spans() const {
+    std::uint64_t depth = 0;
+    for (const Node* n = current_; n != &root_; n = n->parent) ++depth;
+    return depth;
+  }
+  std::uint64_t dropped_events() const {
+    return ring_total_ > kRingCapacity ? ring_total_ - kRingCapacity : 0;
+  }
+
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    const std::size_t n = std::min(ring_total_, kRingCapacity);
+    out.reserve(n);
+    const std::size_t start = ring_total_ - n;
+    for (std::size_t i = 0; i < n; ++i)
+      out.push_back(ring_[(start + i) % kRingCapacity]);
+    return out;
+  }
+
+ private:
+  void push_event(const char* name, bool enter) {
+    ring_[ring_total_ % kRingCapacity] = {name, enter, detail::now_ns()};
+    ++ring_total_;
+  }
+
+  Node root_;
+  Node* current_;
+  std::uint64_t unbalanced_exits_ = 0;
+  std::array<TraceEvent, kRingCapacity> ring_{};
+  std::size_t ring_total_ = 0;
+};
+
+/// Collector state: owns every ThreadTrace registered under it.
+class TraceCollectorImpl {
+ public:
+  ThreadTrace* register_thread() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::make_unique<ThreadTrace>());
+    return threads_.back().get();
+  }
+
+  template <typename Fn>
+  void for_each_thread(Fn&& fn) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t : threads_) fn(*t);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadTrace>> threads_;
+};
+
+namespace detail {
+
+std::atomic<TraceCollectorImpl*> g_collector{nullptr};
+// Bumped on every install/uninstall so a thread-local ThreadTrace cached
+// from an earlier session can never be mistaken for one registered with
+// the current collector (even if a new collector reuses the address).
+std::atomic<std::uint64_t> g_epoch{0};
+
+namespace {
+struct ThreadSlot {
+  std::uint64_t epoch = 0;
+  ThreadTrace* trace = nullptr;
+};
+thread_local ThreadSlot t_slot;
+}  // namespace
+
+ThreadTrace* register_current_thread() {
+  TraceCollectorImpl* collector = g_collector.load(std::memory_order_acquire);
+  if (collector == nullptr) return nullptr;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (t_slot.epoch == epoch && t_slot.trace != nullptr) return t_slot.trace;
+  t_slot.trace = collector->register_thread();
+  t_slot.epoch = epoch;
+  return t_slot.trace;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void span_enter(ThreadTrace* t, const char* name) { t->enter(name); }
+void span_exit(ThreadTrace* t, std::uint64_t elapsed_ns) {
+  t->exit(elapsed_ns);
+}
+void add_counter(ThreadTrace* t, const char* name, std::uint64_t delta) {
+  t->add(name, delta);
+}
+
+}  // namespace detail
+
+bool session_active() {
+  return detail::g_collector.load(std::memory_order_acquire) != nullptr;
+}
+
+namespace {
+
+std::atomic<int> g_runtime_enabled{-1};  // -1 = consult PLT_TRACE once
+
+bool env_enabled() {
+  const char* env = std::getenv("PLT_TRACE");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  return !(value.empty() || value == "0" || value == "off");
+}
+
+}  // namespace
+
+bool enabled() {
+#if !PLT_OBS_ENABLED
+  return false;  // compile-time off: nothing would be recorded anyway
+#endif
+  int state = g_runtime_enabled.load(std::memory_order_acquire);
+  if (state < 0) {
+    state = env_enabled() ? 1 : 0;
+    int expected = -1;
+    if (!g_runtime_enabled.compare_exchange_strong(
+            expected, state, std::memory_order_acq_rel,
+            std::memory_order_acquire))
+      state = expected;
+  }
+  return state == 1;
+}
+
+void set_enabled(bool on) {
+  g_runtime_enabled.store(on ? 1 : 0, std::memory_order_release);
+}
+
+// ---- TraceNode queries ----
+
+const TraceNode* TraceNode::child(std::string_view child_name) const {
+  for (const TraceNode& c : children)
+    if (c.name == child_name) return &c;
+  return nullptr;
+}
+
+const TraceNode* TraceNode::descendant(std::string_view path) const {
+  const TraceNode* node = this;
+  while (node != nullptr && !path.empty()) {
+    const auto slash = path.find('/');
+    const std::string_view head = path.substr(0, slash);
+    node = node->child(head);
+    path = slash == std::string_view::npos ? std::string_view{}
+                                           : path.substr(slash + 1);
+  }
+  return node;
+}
+
+std::uint64_t TraceNode::counter(std::string_view counter_name) const {
+  for (const auto& [name_, value] : counters)
+    if (name_ == counter_name) return value;
+  return 0;
+}
+
+std::uint64_t TraceNode::counter_total(std::string_view counter_name) const {
+  std::uint64_t total = counter(counter_name);
+  for (const TraceNode& c : children) total += c.counter_total(counter_name);
+  return total;
+}
+
+std::uint64_t TraceNode::span_total() const {
+  std::uint64_t total = count;
+  for (const TraceNode& c : children) total += c.span_total();
+  return total;
+}
+
+// ---- collector ----
+
+namespace {
+
+// Folds one per-thread node into the merged tree (recursive: matching
+// names merge, new names append; ordering is fixed afterwards).
+void merge_node(TraceNode& into, const Node& from) {
+  into.count += from.count;
+  into.total_ns += from.total_ns;
+  for (const auto& [name, value] : from.counters) {
+    bool found = false;
+    for (auto& [mname, mvalue] : into.counters)
+      if (mname == name) {
+        mvalue += value;
+        found = true;
+        break;
+      }
+    if (!found) into.counters.emplace_back(name, value);
+  }
+  for (const auto& child : from.children) {
+    TraceNode* slot = nullptr;
+    for (TraceNode& c : into.children)
+      if (c.name == child->name) {
+        slot = &c;
+        break;
+      }
+    if (slot == nullptr) {
+      into.children.emplace_back();
+      slot = &into.children.back();
+      slot->name = child->name;
+    }
+    merge_node(*slot, *child);
+  }
+}
+
+void sort_tree(TraceNode& node) {
+  std::sort(node.counters.begin(), node.counters.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(node.children.begin(), node.children.end(),
+            [](const TraceNode& a, const TraceNode& b) {
+              return a.name < b.name;
+            });
+  for (TraceNode& c : node.children) sort_tree(c);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : impl_(new TraceCollectorImpl()) {}
+
+TraceCollector::~TraceCollector() {
+  if (installed_) uninstall();
+  delete impl_;
+}
+
+void TraceCollector::install() {
+  if (installed_) return;
+  prev_ = detail::g_collector.load(std::memory_order_acquire);
+  detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_collector.store(impl_, std::memory_order_release);
+  installed_ = true;
+}
+
+void TraceCollector::uninstall() {
+  if (!installed_) return;
+  detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_collector.store(prev_, std::memory_order_release);
+  prev_ = nullptr;
+  installed_ = false;
+}
+
+TraceNode TraceCollector::aggregate() const {
+  TraceNode root;
+  root.name = "trace";
+  impl_->for_each_thread(
+      [&](const ThreadTrace& t) { merge_node(root, t.root()); });
+  sort_tree(root);
+  return root;
+}
+
+TraceHealth TraceCollector::health() const {
+  TraceHealth h;
+  impl_->for_each_thread([&](const ThreadTrace& t) {
+    ++h.threads;
+    h.unbalanced_exits += t.unbalanced_exits();
+    h.open_spans += t.open_spans();
+    h.dropped_events += t.dropped_events();
+  });
+  return h;
+}
+
+std::vector<std::vector<TraceEvent>> TraceCollector::thread_events() const {
+  std::vector<std::vector<TraceEvent>> out;
+  impl_->for_each_thread(
+      [&](const ThreadTrace& t) { out.push_back(t.events()); });
+  return out;
+}
+
+// ---- session ----
+
+TraceSession::TraceSession() { collector_.install(); }
+
+TraceSession::~TraceSession() {
+  if (!finished_) collector_.uninstall();
+}
+
+std::shared_ptr<const TraceNode> TraceSession::finish() {
+  if (!finished_) {
+    collector_.uninstall();
+    tree_ = std::make_shared<const TraceNode>(collector_.aggregate());
+    finished_ = true;
+  }
+  return tree_;
+}
+
+}  // namespace plt::obs

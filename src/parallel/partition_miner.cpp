@@ -6,6 +6,7 @@
 
 #include "core/builder.hpp"
 #include "core/projection_pool.hpp"
+#include "obs/trace.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
@@ -22,12 +23,9 @@ struct alignas(64) ClaimWindow {
   std::size_t end = 0;
 };
 
-}  // namespace
-
-core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
-                               const ParallelOptions& options) {
-  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
-  PLT_ASSERT(options.threads >= 1, "need at least one thread");
+core::MineResult mine_parallel_impl(const tdb::Database& db,
+                                    Count min_support,
+                                    const ParallelOptions& options) {
   core::MineResult result;
   const core::MiningControl* control = options.control;
   const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
@@ -57,21 +55,25 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
   // already, so each CD_j is collected directly as a per-rank PLT.
   std::vector<core::Plt> partitions;
   partitions.reserve(max_rank);
-  for (Rank j = 1; j <= max_rank; ++j)
-    partitions.emplace_back(std::max<Rank>(1, j - 1));
+  {
+    PLT_SPAN("build-partitions");
+    PLT_TRACE_COUNT("partitions", max_rank);
+    for (Rank j = 1; j <= max_rank; ++j)
+      partitions.emplace_back(std::max<Rank>(1, j - 1));
 
-  core::PosVec v;
-  for (std::size_t t = 0; t < view.db.size(); ++t) {
-    const auto ranks = view.db[t];
-    v.clear();
-    Rank prev = 0;
-    for (const Rank r : ranks) {
-      v.push_back(r - prev);
-      prev = r;
-    }
-    for (std::size_t i = ranks.size(); i-- > 1;) {
-      // Prefix of length i goes to CD of rank ranks[i].
-      partitions[ranks[i] - 1].add(std::span<const Pos>(v.data(), i), 1);
+    core::PosVec v;
+    for (std::size_t t = 0; t < view.db.size(); ++t) {
+      const auto ranks = view.db[t];
+      v.clear();
+      Rank prev = 0;
+      for (const Rank r : ranks) {
+        v.push_back(r - prev);
+        prev = r;
+      }
+      for (std::size_t i = ranks.size(); i-- > 1;) {
+        // Prefix of length i goes to CD of rank ranks[i].
+        partitions[ranks[i] - 1].add(std::span<const Pos>(v.data(), i), 1);
+      }
     }
   }
   result.build_seconds = build_timer.seconds();
@@ -99,6 +101,9 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
 
   const auto mine_rank = [&](std::size_t idx,
                              core::ProjectionEngine& engine) {
+    // Exactly one "mine-rank" span per rank index, whichever worker claims
+    // it — the merged span count equals max_rank for every thread count.
+    PLT_SPAN("mine-rank");
     PLT_FAILPOINT("parallel.mine_rank");
     const Rank j = static_cast<Rank>(idx + 1);
     const auto sink = core::collect_into(per_rank[idx]);
@@ -186,14 +191,36 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
 
   // Deterministic ordered merge: rank order regardless of which worker
   // mined what.
-  for (std::size_t idx = 0; idx < per_rank.size(); ++idx) {
-    const core::FrequentItemsets& local = per_rank[idx];
-    for (std::size_t i = 0; i < local.size(); ++i)
-      result.itemsets.add(local.itemset(i), local.support(i));
+  {
+    PLT_SPAN("merge");
+    for (std::size_t idx = 0; idx < per_rank.size(); ++idx) {
+      const core::FrequentItemsets& local = per_rank[idx];
+      for (std::size_t i = 0; i < local.size(); ++i)
+        result.itemsets.add(local.itemset(i), local.support(i));
+    }
   }
+  // Steals are scheduling noise, not work: they stay in ProjectionStats and
+  // out of the trace so the merged tree is identical at any thread count.
   for (const auto& stats : worker_stats) result.projection.merge(stats);
   result.mine_seconds = mine_timer.seconds();
   finish();
+  return result;
+}
+
+}  // namespace
+
+core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
+                               const ParallelOptions& options) {
+  PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
+  PLT_ASSERT(options.threads >= 1, "need at least one thread");
+  obs::AutoSession trace_session;
+  core::MineResult result;
+  {
+    PLT_SPAN("mine-parallel");
+    result = mine_parallel_impl(db, min_support, options);
+    PLT_TRACE_COUNT("itemsets-total", result.itemsets.size());
+  }
+  result.trace = trace_session.finish();
   return result;
 }
 

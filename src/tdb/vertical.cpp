@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 
 namespace plt::tdb {
 
@@ -35,10 +36,16 @@ std::vector<Tid> intersect(std::span<const Tid> a, std::span<const Tid> b) {
   const std::size_t n = kernels::active().intersect_sorted(
       a.data(), a.size(), b.data(), b.size(), out.data());
   out.resize(n);
+  obs::count_kernel("kernel.intersect_sorted.calls",
+                    "kernel.intersect_sorted.bytes",
+                    (a.size() + b.size()) * sizeof(Tid));
   return out;
 }
 
 std::size_t intersect_count(std::span<const Tid> a, std::span<const Tid> b) {
+  obs::count_kernel("kernel.intersect_count.calls",
+                    "kernel.intersect_count.bytes",
+                    (a.size() + b.size()) * sizeof(Tid));
   return kernels::active().intersect_count(a.data(), a.size(), b.data(),
                                            b.size());
 }

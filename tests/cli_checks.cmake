@@ -1,0 +1,48 @@
+# Shell-level CLI checks that assert on exit codes and diagnostics, which
+# plain add_test COMMAND lines cannot express. Invoked as
+#   cmake -DCHECK=<name> -DPLT_MINE=<path> [-DOUT_DIR=<dir>] -P cli_checks.cmake
+
+if(CHECK STREQUAL "bad-backend")
+  # An unknown --backend must refuse to run (exit non-zero) with a clear
+  # diagnostic, never silently bench/mine on the wrong kernels.
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup 2 --backend bogus
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "plt-mine accepted an unknown --backend (exit 0)")
+  endif()
+  if(NOT err MATCHES "unknown or unavailable kernel backend")
+    message(FATAL_ERROR
+            "missing/garbled diagnostic for unknown backend; stderr was:\n"
+            "${err}")
+  endif()
+elseif(CHECK STREQUAL "trace-files")
+  # --trace / --trace-folded must produce well-formed exports covering the
+  # run. Only registered when the obs layer is compiled in (PLT_OBS=ON).
+  file(MAKE_DIRECTORY ${OUT_DIR})
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup-frac 0.1
+                          --trace ${OUT_DIR}/cli_trace.json
+                          --trace-folded ${OUT_DIR}/cli_trace.folded
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --trace exited ${code}:\n${err}")
+  endif()
+  file(READ ${OUT_DIR}/cli_trace.json json)
+  if(NOT json MATCHES "plt-trace-v1")
+    message(FATAL_ERROR "trace JSON missing format tag:\n${json}")
+  endif()
+  if(NOT json MATCHES "\"mine\"")
+    message(FATAL_ERROR "trace JSON missing the mine span:\n${json}")
+  endif()
+  file(READ ${OUT_DIR}/cli_trace.folded folded)
+  if(NOT folded MATCHES "trace;mine")
+    message(FATAL_ERROR "folded trace missing the mine stack:\n${folded}")
+  endif()
+else()
+  message(FATAL_ERROR "unknown CHECK: '${CHECK}'")
+endif()

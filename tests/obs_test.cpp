@@ -1,0 +1,462 @@
+// Observability layer (S23): the golden-trace suite plus the invariants the
+// tracing design promises — strict span nesting, monotone counters, a
+// merged tree that is byte-identical across kernel backends and thread
+// counts, trace-on/trace-off mining output equality, and well-formed traces
+// on every resilience path (cancel, deadline, budget, failpoint crash +
+// checkpoint resume).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "compress/ooc_miner.hpp"
+#include "core/builder.hpp"
+#include "core/miner.hpp"
+#include "datagen/dense.hpp"
+#include "datagen/quest.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
+#include "parallel/partition_miner.hpp"
+#include "test_support.hpp"
+#include "util/failpoint.hpp"
+
+#ifndef PLT_OBS_GOLDEN_DIR
+#define PLT_OBS_GOLDEN_DIR "."
+#endif
+
+namespace plt::obs {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Chess-like data needs high support to stay tractable: at 25% support the
+// itemset lattice explodes combinatorially. kDenseMinsup is 80% of the 120
+// transactions, matching the scale the parallel tests use.
+constexpr Count kDenseMinsup = 96;
+
+tdb::Database dense_workload() {
+  datagen::DenseConfig cfg = datagen::chess_like(120, 5);
+  return datagen::generate_dense(cfg);
+}
+
+tdb::Database sparse_workload() {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 250;
+  cfg.items = 40;
+  cfg.seed = 9;
+  return datagen::generate_quest(cfg);
+}
+
+std::string masked_json(const TraceNode& root) {
+  TraceExportOptions options;
+  options.mask_durations = true;
+  return to_json(root, options);
+}
+
+// Compares against tests/golden/<name>; PLT_UPDATE_GOLDEN=1 rewrites the
+// file instead (run the test binary once with it set after an intentional
+// trace-shape change, then commit the diff).
+void expect_matches_golden(const std::string& actual, const char* name) {
+  const std::string path = std::string(PLT_OBS_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("PLT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    out << actual;
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — regenerate with PLT_UPDATE_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "trace shape drifted from " << path
+      << " (PLT_UPDATE_GOLDEN=1 rewrites it if the change is intended)";
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !PLT_OBS_ENABLED
+    GTEST_SKIP() << "observability layer compiled out (-DPLT_OBS=OFF)";
+#endif
+    FailpointRegistry::instance().disarm_all();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    FailpointRegistry::instance().disarm_all();
+    kernels::select_backend("auto");
+  }
+};
+
+TEST_F(ObsTest, SpanTreeAggregationAndQueries) {
+  TraceSession session;
+  {
+    PLT_SPAN("outer");
+    PLT_TRACE_COUNT("ticks", 2);
+    {
+      PLT_SPAN("inner");
+      PLT_TRACE_COUNT("ticks", 3);
+    }
+    {
+      PLT_SPAN("inner");
+    }
+  }
+  const auto root = session.finish();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "trace");
+
+  const TraceNode* outer = root->child("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(outer->counter("ticks"), 2u);
+
+  const TraceNode* inner = root->descendant("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2u);
+  EXPECT_EQ(inner->counter("ticks"), 3u);
+
+  EXPECT_EQ(root->counter_total("ticks"), 5u);
+  EXPECT_EQ(root->span_total(), 1u + 2u);  // outer + 2x inner; synthetic
+                                           // root carries count 0
+  EXPECT_EQ(root->child("absent"), nullptr);
+  EXPECT_EQ(root->descendant("outer/absent"), nullptr);
+  EXPECT_EQ(root->counter("absent"), 0u);
+}
+
+TEST_F(ObsTest, ExportsMaskedAndUnmasked) {
+  TraceSession session;
+  {
+    PLT_SPAN("phase");
+    PLT_TRACE_COUNT("work", 7);
+  }
+  const auto root = session.finish();
+  ASSERT_NE(root, nullptr);
+
+  const std::string masked = masked_json(*root);
+  EXPECT_NE(masked.find("\"masked\": true"), std::string::npos);
+  EXPECT_NE(masked.find("\"phase\""), std::string::npos);
+  EXPECT_NE(masked.find("\"work\": 7"), std::string::npos);
+  EXPECT_EQ(masked.find("\"ns\""), std::string::npos);
+  EXPECT_EQ(masked.find("\"backend\""), std::string::npos);
+
+  TraceExportOptions options;
+  options.backend = "scalar";
+  const std::string full = to_json(*root, options);
+  EXPECT_NE(full.find("\"masked\": false"), std::string::npos);
+  EXPECT_NE(full.find("\"ns\""), std::string::npos);
+  EXPECT_NE(full.find("\"backend\": \"scalar\""), std::string::npos);
+
+  const std::string folded = to_folded(*root, /*mask_durations=*/true);
+  EXPECT_NE(folded.find("trace;phase 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, HealthReportsBalancedNesting) {
+  TraceSession session;
+  {
+    PLT_SPAN("a");
+    {
+      PLT_SPAN("b");
+    }
+  }
+  const TraceHealth health = session.collector().health();
+  EXPECT_EQ(health.threads, 1u);
+  EXPECT_EQ(health.unbalanced_exits, 0u);
+  EXPECT_EQ(health.open_spans, 0u);
+  EXPECT_EQ(health.dropped_events, 0u);
+
+  const auto events = session.collector().thread_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].size(), 4u);  // enter a, enter b, exit b, exit a
+  EXPECT_TRUE(events[0][0].enter);
+  EXPECT_STREQ(events[0][1].name, "b");
+  EXPECT_FALSE(events[0][2].enter);
+  session.finish();
+}
+
+// The tentpole pin: mining the paper's Table 1 produces this exact span
+// tree — names, nesting, span counts, counters — on the scalar AND the SIMD
+// backends. Durations are masked; everything else is byte-compared.
+TEST_F(ObsTest, GoldenTraceTable1Conditional) {
+  const auto db = testing::paper_table1();
+  for (const char* backend : {"scalar", "simd"}) {
+    SCOPED_TRACE(backend);
+    core::MineOptions options;
+    options.kernel_backend = backend;
+    const auto result =
+        core::mine(db, 2, core::Algorithm::kPltConditional, options);
+    ASSERT_NE(result.trace, nullptr);
+    expect_matches_golden(masked_json(*result.trace),
+                          "trace_table1_conditional.json");
+  }
+}
+
+TEST_F(ObsTest, GoldenTraceTable1TopDown) {
+  const auto db = testing::paper_table1();
+  for (const char* backend : {"scalar", "simd"}) {
+    SCOPED_TRACE(backend);
+    core::MineOptions options;
+    options.kernel_backend = backend;
+    const auto result =
+        core::mine(db, 2, core::Algorithm::kPltTopDownCanonical, options);
+    ASSERT_NE(result.trace, nullptr);
+    expect_matches_golden(masked_json(*result.trace),
+                          "trace_table1_topdown.json");
+  }
+}
+
+// Some baselines (e.g. the partition miner) re-enter core::mine() per
+// chunk, on worker threads: their traces legitimately hold several "mine"
+// spans and accumulate itemsets-total across the inner runs, so the checks
+// are lower bounds; the golden tests above pin the exact single-pass shape.
+TEST_F(ObsTest, EveryAlgorithmProducesARootedTrace) {
+  const auto db = testing::paper_table1();
+  for (const core::Algorithm algorithm : core::all_algorithms()) {
+    SCOPED_TRACE(core::algorithm_name(algorithm));
+    const auto result = core::mine(db, 2, algorithm);
+    ASSERT_NE(result.trace, nullptr);
+    const TraceNode* mine = result.trace->child("mine");
+    ASSERT_NE(mine, nullptr);
+    EXPECT_GE(mine->count, 1u);
+    const TraceNode* algo = mine->child(core::algorithm_name(algorithm));
+    ASSERT_NE(algo, nullptr);
+    EXPECT_GE(algo->count, 1u);
+    EXPECT_GE(result.trace->counter_total("status.completed"), 1u);
+    EXPECT_GE(result.trace->counter_total("itemsets-total"),
+              result.itemsets.size());
+  }
+}
+
+// Counters never reset within a session: mining twice under one session
+// yields exactly twice every span count and counter of a single mine.
+TEST_F(ObsTest, CountersAreMonotoneAcrossMines) {
+  const auto db = dense_workload();
+
+  const auto once = core::mine(db, kDenseMinsup, core::Algorithm::kPltConditional);
+  ASSERT_NE(once.trace, nullptr);
+
+  TraceSession session;
+  (void)core::mine(db, kDenseMinsup, core::Algorithm::kPltConditional);
+  (void)core::mine(db, kDenseMinsup, core::Algorithm::kPltConditional);
+  const auto twice = session.finish();
+  ASSERT_NE(twice, nullptr);
+
+  const TraceNode* mine1 = once.trace->child("mine");
+  const TraceNode* mine2 = twice->child("mine");
+  ASSERT_NE(mine1, nullptr);
+  ASSERT_NE(mine2, nullptr);
+  EXPECT_EQ(mine2->count, 2 * mine1->count);
+  for (const char* counter :
+       {"ranks-processed", "entries-projected", "itemsets-emitted",
+        "itemsets-total", "kernel.peel_prefixes.calls",
+        "kernel.peel_prefixes.bytes"}) {
+    SCOPED_TRACE(counter);
+    EXPECT_EQ(twice->counter_total(counter),
+              2 * once.trace->counter_total(counter));
+  }
+}
+
+TEST_F(ObsTest, OuterSessionTakesPrecedenceOverFacade) {
+  const auto db = testing::paper_table1();
+  TraceSession session;
+  const auto result = core::mine(db, 2, core::Algorithm::kPltConditional);
+  // The facade's AutoSession stood down: the outer session owns the tree.
+  EXPECT_EQ(result.trace, nullptr);
+  const auto root = session.finish();
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->child("mine"), nullptr);
+}
+
+TEST_F(ObsTest, RuntimeOffRecordsNothing) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(current_thread_trace(), nullptr);
+  const auto result = core::mine(testing::paper_table1(), 2,
+                                 core::Algorithm::kPltConditional);
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+// The merged tree is identical for 1, 4 and 8 worker threads: every rank is
+// mined exactly once whichever worker claims it, merge sums commute, and
+// scheduling artifacts (steals) are deliberately not traced.
+TEST_F(ObsTest, ParallelTraceIsThreadCountInvariant) {
+  const auto db = sparse_workload();
+  std::vector<std::string> exports;
+  core::FrequentItemsets reference;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    parallel::ParallelOptions options;
+    options.threads = threads;
+    auto result = parallel::mine_parallel(db, 3, options);
+    ASSERT_NE(result.trace, nullptr);
+    // Worker spans land top-level in the merged tree (workers have no
+    // cross-thread parent); exactly one "mine-rank" span ran per rank.
+    const TraceNode* ranks = result.trace->child("mine-rank");
+    ASSERT_NE(ranks, nullptr);
+    const TraceNode* partitions =
+        result.trace->descendant("mine-parallel/build-partitions");
+    ASSERT_NE(partitions, nullptr);
+    EXPECT_EQ(ranks->count, partitions->counter("partitions"));
+    exports.push_back(masked_json(*result.trace));
+    if (threads == 1)
+      reference = result.itemsets;
+    else
+      testing::expect_same_itemsets(reference, result.itemsets, "threads");
+  }
+  EXPECT_EQ(exports[0], exports[1]);
+  EXPECT_EQ(exports[0], exports[2]);
+}
+
+// Tracing must be a pure observer: enabling it cannot change what is mined
+// or the order it is emitted in, on either sweep generator family.
+TEST_F(ObsTest, TracingDoesNotChangeMiningOutput) {
+  const struct {
+    const char* label;
+    tdb::Database db;
+    Count minsup;
+  } generators[] = {
+      {"dense", dense_workload(), kDenseMinsup},
+      {"sparse", sparse_workload(), 3},
+  };
+  for (const auto& g : generators) {
+    for (const core::Algorithm algorithm :
+         {core::Algorithm::kPltConditional,
+          core::Algorithm::kPltTopDownSweep}) {
+      SCOPED_TRACE(std::string(g.label) + "/" +
+                   core::algorithm_name(algorithm));
+      set_enabled(false);
+      const auto off = core::mine(g.db, g.minsup, algorithm);
+      EXPECT_EQ(off.trace, nullptr);
+      set_enabled(true);
+      const auto on = core::mine(g.db, g.minsup, algorithm);
+      ASSERT_NE(on.trace, nullptr);
+      // Byte-identical, not just set-equal: same itemsets, same order.
+      EXPECT_TRUE(
+          core::FrequentItemsets::equal(off.itemsets, on.itemsets));
+    }
+  }
+}
+
+TEST_F(ObsTest, KernelCountersAreBackendInvariant) {
+  const auto db = dense_workload();
+  std::uint64_t scalar_calls = 0, scalar_bytes = 0;
+  for (const char* backend : {"scalar", "simd"}) {
+    SCOPED_TRACE(backend);
+    core::MineOptions options;
+    options.kernel_backend = backend;
+    const auto result =
+        core::mine(db, kDenseMinsup, core::Algorithm::kPltConditional, options);
+    ASSERT_NE(result.trace, nullptr);
+    const std::uint64_t calls =
+        result.trace->counter_total("kernel.peel_prefixes.calls");
+    const std::uint64_t bytes =
+        result.trace->counter_total("kernel.peel_prefixes.bytes");
+    EXPECT_GT(calls, 0u);
+    EXPECT_GT(bytes, 0u);
+    if (std::string(backend) == "scalar") {
+      scalar_calls = calls;
+      scalar_bytes = bytes;
+    } else {
+      EXPECT_EQ(calls, scalar_calls);
+      EXPECT_EQ(bytes, scalar_bytes);
+    }
+  }
+}
+
+// ---- resilience paths: traces stay well-formed when mining stops early --
+
+void expect_clean_stop(const core::MiningControl& control,
+                       core::MineStatus expected_status,
+                       const char* expected_counter) {
+  const auto db = sparse_workload();
+  core::MineOptions options;
+  options.control = &control;
+  TraceSession session;
+  const auto result =
+      core::mine(db, 2, core::Algorithm::kPltConditional, options);
+  EXPECT_EQ(result.status, expected_status);
+  const TraceHealth health = session.collector().health();
+  EXPECT_EQ(health.unbalanced_exits, 0u);
+  EXPECT_EQ(health.open_spans, 0u);
+  const auto root = session.finish();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->counter_total(expected_counter), 1u)
+      << masked_json(*root);
+}
+
+TEST_F(ObsTest, CancelledMineTraceIsWellFormed) {
+  core::MiningControl control;
+  control.request_cancel();
+  expect_clean_stop(control, core::MineStatus::kCancelled,
+                    "status.cancelled");
+}
+
+TEST_F(ObsTest, DeadlineMineTraceIsWellFormed) {
+  const core::MiningControl control = core::MiningControl::with_deadline(0ns);
+  expect_clean_stop(control, core::MineStatus::kDeadlineExceeded,
+                    "status.deadline-exceeded");
+}
+
+TEST_F(ObsTest, BudgetMineTraceIsWellFormed) {
+  core::MiningControl control;
+  control.set_memory_budget(1);
+  expect_clean_stop(control, core::MineStatus::kBudgetExceeded,
+                    "status.budget-exceeded");
+}
+
+TEST_F(ObsTest, OocCrashAndResumeTracesAreWellFormed) {
+  const auto built = core::build_from_database(sparse_workload(), 3);
+  const auto blob = compress::encode_plt(built.plt);
+  std::vector<Item> item_of(built.view.alphabet());
+  for (Rank r = 1; r <= built.view.alphabet(); ++r)
+    item_of[r - 1] = built.view.item_of(r);
+  const auto sink = [](std::span<const Item>, Count) {};
+  const std::string path =
+      (std::string(::testing::TempDir()) + "/obs_resume.pltk");
+
+  // Crash mid-walk: the injected fault unwinds through the facade; the
+  // per-call session must be torn down with it.
+  {
+    FailpointRegistry::Spec spec;
+    spec.mode = FailpointRegistry::Mode::kOneShot;
+    spec.n = 4;
+    FailpointRegistry::instance().arm("ooc.rank", spec);
+    compress::OocOptions options;
+    options.checkpoint_path = path;
+    EXPECT_THROW(compress::mine_from_blob(blob, item_of, 3, sink, nullptr,
+                                          options),
+                 InjectedFault);
+    FailpointRegistry::instance().disarm("ooc.rank");
+    EXPECT_FALSE(session_active());
+  }
+
+  // Resume: the trace must carry the warm-replay span, the resumed-rank
+  // count, the checkpoint spans and the streaming byte counter.
+  compress::OocOptions options;
+  options.checkpoint_path = path;
+  compress::OocStats stats;
+  const auto status =
+      compress::mine_from_blob(blob, item_of, 3, sink, &stats, options);
+  EXPECT_EQ(status, core::MineStatus::kCompleted);
+  ASSERT_NE(stats.trace, nullptr);
+  const TraceNode* ooc = stats.trace->child("ooc-mine");
+  ASSERT_NE(ooc, nullptr);
+  ASSERT_NE(ooc->child("ooc-resume"), nullptr);
+  EXPECT_EQ(ooc->child("ooc-resume")->counter("resumed-ranks"),
+            stats.resumed_ranks);
+  EXPECT_GT(stats.trace->counter_total("ranks"), 0u);
+  EXPECT_GT(stats.trace->counter_total("bytes-decoded"), 0u);
+  const TraceNode* checkpoint = ooc->child("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_EQ(checkpoint->count, stats.trace->counter_total("ranks"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace plt::obs

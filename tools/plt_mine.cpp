@@ -11,6 +11,8 @@
 //             --serialize OUT.plt        write the varint-encoded PLT
 //             --stats                    dataset statistics only
 // Output:     --output text|csv (default text), --limit N (rows shown)
+// Tracing:    --trace FILE               span-tree JSON for the whole run
+//             --trace-folded FILE        flamegraph-folded stacks
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +27,7 @@
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/experiment.hpp"
+#include "harness/tracing.hpp"
 #include "rules/generator.hpp"
 #include "tdb/io.hpp"
 #include "tdb/stats.hpp"
@@ -46,6 +49,7 @@ int usage(const char* argv0) {
       << "  [--rules [--minconf C]] [--serialize FILE] [--stats]\n"
       << "  [--output text|csv] [--limit N] [--scale S]\n"
       << "  [--backend scalar|sse42|avx2|simd|auto]\n"
+      << "  [--trace FILE] [--trace-folded FILE]\n"
       << "datasets: ";
   for (const auto& spec : datagen::dataset_registry())
     std::cerr << spec.name << ' ';
@@ -85,6 +89,9 @@ void print_itemsets(const core::FrequentItemsets& itemsets,
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args, /*announce=*/false)) return 2;
+  // One session around everything the invocation does (mining, queries,
+  // serialization); written on every exit path by the destructor.
+  harness::TraceScope trace(args);
   const std::string format = args.get("output", "text");
   const auto limit = static_cast<std::size_t>(args.get_int("limit", 50));
 
