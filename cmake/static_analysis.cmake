@@ -1,0 +1,50 @@
+# Static-analysis build targets.
+#
+#   lint          runs tools/plt_lint's contract rules over src/ (exits
+#                 non-zero on any finding; suppressions are visible,
+#                 reviewed decisions and count as clean).
+#   format-check  clang-format --dry-run --Werror over the C++ sources.
+#                 Degrades to a notice when clang-format is not installed
+#                 (the default dev container does not ship it); the CI
+#                 static-analysis job installs it and runs for real.
+#   format        rewrites the sources in place (only defined when
+#                 clang-format is available).
+#
+# tests/lint/fixtures is excluded from formatting on purpose: those files
+# are deliberately broken inputs whose line positions are pinned by
+# EXPECT(rule) markers.
+
+add_custom_target(lint
+  COMMAND $<TARGET_FILE:plt-lint> --root ${CMAKE_SOURCE_DIR} src
+  COMMENT "plt-lint: contract rules over src/"
+  VERBATIM)
+add_dependencies(lint plt-lint)
+
+find_program(PLT_CLANG_FORMAT
+             NAMES clang-format clang-format-19 clang-format-18
+                   clang-format-17)
+
+file(GLOB_RECURSE PLT_FORMAT_SOURCES
+     ${CMAKE_SOURCE_DIR}/src/*.cpp ${CMAKE_SOURCE_DIR}/src/*.hpp
+     ${CMAKE_SOURCE_DIR}/tools/*.cpp ${CMAKE_SOURCE_DIR}/tools/*.hpp
+     ${CMAKE_SOURCE_DIR}/tests/*.cpp ${CMAKE_SOURCE_DIR}/tests/*.hpp
+     ${CMAKE_SOURCE_DIR}/examples/*.cpp ${CMAKE_SOURCE_DIR}/bench/*.cpp
+     ${CMAKE_SOURCE_DIR}/bench/*.hpp)
+list(FILTER PLT_FORMAT_SOURCES EXCLUDE REGEX "tests/lint/fixtures/")
+
+if(PLT_CLANG_FORMAT)
+  add_custom_target(format-check
+    COMMAND ${PLT_CLANG_FORMAT} --dry-run --Werror ${PLT_FORMAT_SOURCES}
+    COMMENT "clang-format --dry-run --Werror"
+    VERBATIM)
+  add_custom_target(format
+    COMMAND ${PLT_CLANG_FORMAT} -i ${PLT_FORMAT_SOURCES}
+    COMMENT "clang-format -i"
+    VERBATIM)
+else()
+  add_custom_target(format-check
+    COMMAND ${CMAKE_COMMAND} -E echo
+            "format-check: clang-format not found, skipping (install it to enable)"
+    COMMENT "clang-format unavailable"
+    VERBATIM)
+endif()

@@ -5,6 +5,7 @@
 
 #include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
+#include "core/validate.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 #include "tdb/database.hpp"
@@ -111,6 +112,9 @@ core::Plt decode_plt(std::span<const std::uint8_t> bytes) {
       offset = frame.payload_end + 4;  // CRC verified by the frame reader
     }
   }
+  // Untrusted-input path: under PLT_VALIDATE the decoded structure gets the
+  // full whole-tree check on top of the per-entry range checks above.
+  core::maybe_validate(plt, "decode_plt");
   return plt;
 }
 

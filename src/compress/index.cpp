@@ -4,6 +4,7 @@
 
 #include "compress/blob_format.hpp"
 #include "compress/varint.hpp"
+#include "util/common.hpp"
 
 namespace plt::compress {
 
@@ -80,6 +81,10 @@ std::size_t decode_bucket(
     std::span<const std::uint8_t> blob, const BlobIndex& index, Rank sum,
     const std::function<void(std::span<const Pos>, Count)>& fn) {
   if (sum == 0 || sum > index.max_rank) return 0;
+  // max_rank comes off disk while buckets is built locally; the subscript
+  // below is only safe when build_index kept them in lockstep.
+  PLT_ASSERT(index.buckets.size() == index.max_rank,
+             "BlobIndex bucket count must match its max_rank");
   core::PosVec v;
   const auto& bucket = index.buckets[sum - 1];
   for (const auto& [coded_length, entry_offset] : bucket) {

@@ -10,6 +10,7 @@
 #include "compress/checkpoint.hpp"
 #include "core/conditional.hpp"
 #include "core/projection_pool.hpp"
+#include "core/validate.hpp"
 #include "obs/trace.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
@@ -220,6 +221,10 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
       if (!cond.empty()) {
         core::ConditionalProjection child = core::make_conditional_plt(
             cond, j, min_support, cond_options.filter_conditional_items);
+        // Under PLT_VALIDATE each conditional projection — including the
+        // ones built right after a checkpoint resume rebuilt the overlay —
+        // is structurally checked before mining it.
+        core::maybe_validate(child.plt, "mine_from_blob: conditional PLT");
         if (!child.empty()) {
           std::vector<Item> child_item_of(child.to_parent.size());
           for (std::size_t c = 0; c < child.to_parent.size(); ++c)

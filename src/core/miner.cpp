@@ -13,6 +13,7 @@
 #include "core/builder.hpp"
 #include "core/conditional.hpp"
 #include "core/topdown.hpp"
+#include "core/validate.hpp"
 #include "kernels/kernels.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
@@ -98,6 +99,7 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
       if (view.alphabet() == 0) break;
       const auto max_rank = static_cast<Rank>(view.alphabet());
       Plt plt = build_plt(view.db, max_rank);
+      maybe_validate(plt, "mine: build_plt");
       result.build_seconds = build_timer.seconds();
       result.structure_bytes = plt.memory_usage();
       Timer mine_timer;
@@ -140,7 +142,9 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
 /// The latched MineStatus as a trace counter ("status.completed", ...) so
 /// resilience traces record why a mine stopped — names are static, the
 /// resilience-path tests read them back from the aggregated tree.
-const char* status_counter_name(MineStatus status) {
+/// [[maybe_unused]]: its only caller is PLT_TRACE_COUNT, which compiles
+/// away under -DPLT_OBS=OFF.
+[[maybe_unused]] const char* status_counter_name(MineStatus status) {
   switch (status) {
     case MineStatus::kCompleted: return "status.completed";
     case MineStatus::kCancelled: return "status.cancelled";
@@ -273,6 +277,8 @@ MineResult mine(const tdb::Database& db, Count min_support,
     PLT_SPAN("mine");
     obs::Span algorithm_span(algorithm_name(algorithm));
     result = mine_impl(db, min_support, algorithm, options);
+    // status_counter_name maps every MineStatus onto a registered
+    // status.* literal. plt-lint: allow(span-registry)
     PLT_TRACE_COUNT(status_counter_name(result.status), 1);
     PLT_TRACE_COUNT("itemsets-total", result.itemsets.size());
   }

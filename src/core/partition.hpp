@@ -63,6 +63,10 @@ class Partition {
   /// Total frequency mass in the partition (Σ freq).
   Count total_freq() const;
 
+  /// Number of Pos words stored in the arena (== size() * length() for a
+  /// sound layout; the validator cross-checks exactly that).
+  std::size_t arena_size() const { return arena_.size(); }
+
   std::size_t memory_usage() const;
 
   /// Stable iteration in insertion order.

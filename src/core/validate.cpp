@@ -1,0 +1,256 @@
+#include "core/validate.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+#include "core/position_vector.hpp"
+#include "core/tree_view.hpp"
+
+namespace plt::core {
+
+namespace {
+
+std::atomic<int> g_validation_enabled{-1};  // -1 = consult PLT_VALIDATE once
+
+void issue(ValidationReport& report, std::string where, std::string message) {
+  report.issues.push_back({std::move(where), std::move(message)});
+}
+
+std::string entry_where(std::uint32_t length, Partition::EntryId id) {
+  return "D" + std::to_string(length) + " entry " + std::to_string(id);
+}
+
+/// Partition-level checks shared by both validate() overloads. Appends to
+/// `report` instead of returning so the Plt validator accumulates across
+/// partitions. Returns false when the arena layout itself is broken — the
+/// caller must then skip any check that would read vector contents.
+bool validate_partition_into(const Partition& p, Rank max_rank,
+                             ValidationReport& report) {
+  const std::uint32_t k = p.length();
+  const std::string dk = "D" + std::to_string(k);
+  if (k == 0) {
+    issue(report, dk, "partition length is 0 (Definition 4.1.3 needs k >= 1)");
+    return false;
+  }
+  // Arena layout: entries are appended contiguously, so entry id's vector
+  // occupies [id*k, id*k + k). A corrupted offset would make positions()
+  // read out of bounds, so this check gates all content checks below.
+  bool layout_ok = true;
+  if (p.arena_size() != p.size() * k) {
+    issue(report, dk,
+          "arena holds " + std::to_string(p.arena_size()) +
+              " positions but " + std::to_string(p.size()) +
+              " entries of length " + std::to_string(k) + " need " +
+              std::to_string(p.size() * k));
+    layout_ok = false;
+  }
+  for (Partition::EntryId id = 0; id < p.size(); ++id) {
+    const Partition::Entry& e = p.entry(id);
+    if (e.offset != static_cast<std::uint64_t>(id) * k) {
+      issue(report, entry_where(k, id),
+            "arena offset " + std::to_string(e.offset) +
+                " does not match the append layout (expected " +
+                std::to_string(static_cast<std::uint64_t>(id) * k) + ")");
+      layout_ok = false;
+    }
+  }
+  if (!layout_ok) return false;
+
+  for (Partition::EntryId id = 0; id < p.size(); ++id) {
+    ++report.vectors_checked;
+    const Partition::Entry& e = p.entry(id);
+    const std::span<const Pos> v = p.positions(id);
+    Rank sum = 0;
+    bool positions_ok = true;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == 0) {
+        issue(report, entry_where(k, id),
+              "position " + std::to_string(i) +
+                  " is 0 (Definition 4.1.2 needs every position >= 1)");
+        positions_ok = false;
+      }
+      sum += v[i];
+    }
+    if (!positions_ok) continue;
+    if (e.sum != sum)
+      issue(report, entry_where(k, id),
+            "stored sum " + std::to_string(e.sum) +
+                " != position prefix-sum " + std::to_string(sum) +
+                " (Lemma 4.1.1)");
+    if (sum < k)
+      issue(report, entry_where(k, id),
+            "sum " + std::to_string(sum) + " < length " + std::to_string(k) +
+                " (Lemma 4.1.2 lower bound)");
+    if (max_rank != 0 && sum > max_rank)
+      issue(report, entry_where(k, id),
+            "sum " + std::to_string(sum) + " exceeds max_rank " +
+                std::to_string(max_rank) + " (Lemma 4.1.2 upper bound)");
+    // The hash index must resolve the vector back to this exact entry: a
+    // miss means index corruption, a different id means a duplicate vector
+    // — either way the injectivity of Property 4.1.1 is broken in practice.
+    const Partition::EntryId found = p.find(v);
+    if (found != id)
+      issue(report, entry_where(k, id),
+            found == Partition::kNoEntry
+                ? std::string("hash index does not resolve the stored vector")
+                : "hash index resolves the vector to entry " +
+                      std::to_string(found) + " (duplicate vector)");
+  }
+  return true;
+}
+
+void validate_tree_into(const Plt& plt, const ValidateOptions& options,
+                        ValidationReport& report) {
+  const TreeView tree = TreeView::from_plt(plt);
+  // Iterative DFS from the root; the root itself (rank 0, freq 0) carries
+  // no invariant of its own.
+  std::vector<TreeView::NodeId> stack{TreeView::kRoot};
+  while (!stack.empty()) {
+    const TreeView::NodeId id = stack.back();
+    stack.pop_back();
+    const TreeView::Node& node = tree.node(id);
+    if (id != TreeView::kRoot) ++report.nodes_checked;
+    Pos last_position = 0;
+    for (const TreeView::NodeId child_id : node.children) {
+      const TreeView::Node& child = tree.node(child_id);
+      const std::string where =
+          "tree node " + core::to_string(tree.path(child_id));
+      if (child.parent != id)
+        issue(report, where, "parent link does not point at its parent");
+      // Lexicographic child ordering (§4.2): children sorted by position,
+      // strictly — equal positions would be the same child twice.
+      if (child.position <= last_position && last_position != 0)
+        issue(report, where,
+              "children out of lexicographic order (position " +
+                  std::to_string(child.position) + " after " +
+                  std::to_string(last_position) + ")");
+      if (child.position == 0)
+        issue(report, where, "edge position is 0 (Definition 4.1.2)");
+      last_position = child.position;
+      // Rank/pos consistency (Lemma 4.1.1): rank is the prefix-sum of edge
+      // positions, bounded by the alphabet.
+      if (child.rank != node.rank + child.position)
+        issue(report, where,
+              "rank " + std::to_string(child.rank) +
+                  " != parent rank + position (" +
+                  std::to_string(node.rank + child.position) +
+                  ") (Lemma 4.1.1)");
+      if (child.rank > plt.max_rank())
+        issue(report, where,
+              "rank " + std::to_string(child.rank) + " exceeds max_rank " +
+                  std::to_string(plt.max_rank()));
+      // Support monotonicity along paths: in a prefix-closed table every
+      // transaction counted in an extension was counted in the prefix too.
+      if (options.expect_prefix_closed && id != TreeView::kRoot &&
+          node.freq < child.freq)
+        issue(report, where,
+              "support " + std::to_string(child.freq) +
+                  " exceeds its prefix's support " +
+                  std::to_string(node.freq) +
+                  " (monotonicity along paths)");
+      stack.push_back(child_id);
+    }
+    if (options.expect_prefix_closed && id != TreeView::kRoot &&
+        !node.children.empty() && node.freq == 0)
+      issue(report, "tree node " + core::to_string(tree.path(id)),
+            "internal node with frequency 0 in a prefix-closed table");
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream out;
+  for (const ValidationIssue& i : issues)
+    out << i.where << ": " << i.message << '\n';
+  return out.str();
+}
+
+ValidationReport validate(const Partition& partition, Rank max_rank) {
+  ValidationReport report;
+  validate_partition_into(partition, max_rank, report);
+  return report;
+}
+
+ValidationReport validate(const Plt& plt, const ValidateOptions& options) {
+  ValidationReport report;
+  bool contents_ok = true;
+  for (std::uint32_t k = 1; const Partition* p = plt.partition(k); ++k) {
+    if (p->length() != k) {
+      issue(report, "D" + std::to_string(k),
+            "partition at slot " + std::to_string(k) + " has length " +
+                std::to_string(p->length()) + " (Definition 4.1.3)");
+      contents_ok = false;
+      continue;
+    }
+    if (!validate_partition_into(*p, plt.max_rank(), report))
+      contents_ok = false;
+  }
+  // The sum index (Figure 3(a)): every stored vector appears in exactly the
+  // bucket of its sum, exactly once. Broken layouts above make entry sums
+  // unreliable, so the cross-check only runs on a sound arena.
+  if (contents_ok) {
+    std::vector<std::vector<char>> seen;
+    for (std::uint32_t k = 1; const Partition* p = plt.partition(k); ++k)
+      seen.emplace_back(p->size(), 0);
+    std::size_t bucketed = 0;
+    for (Rank s = 1; s <= plt.max_rank(); ++s) {
+      for (const Plt::Ref ref : plt.bucket(s)) {
+        const std::string where = "bucket " + std::to_string(s);
+        const Partition* p = plt.partition(ref.length);
+        if (p == nullptr || ref.id >= p->size()) {
+          issue(report, where,
+                "dangling ref (length " + std::to_string(ref.length) +
+                    ", id " + std::to_string(ref.id) + ")");
+          continue;
+        }
+        ++bucketed;
+        if (p->entry(ref.id).sum != s)
+          issue(report, where,
+                entry_where(ref.length, ref.id) + " has sum " +
+                    std::to_string(p->entry(ref.id).sum) +
+                    " but is indexed under " + std::to_string(s));
+        char& mark = seen[ref.length - 1][ref.id];
+        if (mark != 0)
+          issue(report, where,
+                entry_where(ref.length, ref.id) +
+                    " is indexed more than once");
+        mark = 1;
+      }
+    }
+    if (bucketed != plt.num_vectors())
+      issue(report, "sum index",
+            std::to_string(plt.num_vectors() - bucketed) +
+                " stored vector(s) missing from the sum index");
+    validate_tree_into(plt, options, report);
+  }
+  return report;
+}
+
+void validate_or_throw(const Plt& plt, const char* context,
+                       const ValidateOptions& options) {
+  const ValidationReport report = validate(plt, options);
+  if (report.ok()) return;
+  throw ValidationError(std::string(context) + ": PLT validation failed (" +
+                        std::to_string(report.issues.size()) +
+                        " issue(s))\n" + report.to_string());
+}
+
+bool validation_enabled() {
+  int v = g_validation_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("PLT_VALIDATE");
+    const std::string_view s = env != nullptr ? env : "";
+    v = (!s.empty() && s != "0" && s != "off" && s != "OFF") ? 1 : 0;
+    g_validation_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_validation_enabled(bool enabled) {
+  g_validation_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace plt::core

@@ -5,6 +5,10 @@
 // only the atomic. PLT_KERNELS_HAVE_SSE42/AVX2 are private defines set by
 // src/CMakeLists.txt only when -DPLT_SIMD=ON and the compiler takes the
 // -msse4.2/-mavx2 flags; CPU support is still probed at runtime.
+//
+// This file is the dispatcher, not a kernel: name lookup and the env
+// override legitimately use std::string/getenv, which the purity rule
+// bans in kernel implementations. plt-lint: allow-file(kernel-purity)
 #include <atomic>
 #include <cstdlib>
 
@@ -15,7 +19,9 @@ namespace plt::kernels {
 
 namespace {
 
-bool cpu_has_sse42() {
+// [[maybe_unused]]: only consulted when the SIMD backends are compiled
+// in; under -DPLT_SIMD=OFF resolution never asks about CPU features.
+[[maybe_unused]] bool cpu_has_sse42() {
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
   return __builtin_cpu_supports("sse4.2") != 0;
@@ -24,7 +30,7 @@ bool cpu_has_sse42() {
 #endif
 }
 
-bool cpu_has_avx2() {
+[[maybe_unused]] bool cpu_has_avx2() {
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
   return __builtin_cpu_supports("avx2") != 0;

@@ -128,7 +128,8 @@ bool set_backend(Backend backend);
 ///   "simd"    -> best_supported() (scalar when no SIMD backend compiled)
 ///   "sse42"   -> SSE4.2 backend, false if unavailable
 ///   "avx2"    -> AVX2 backend, false if unavailable
-/// Unknown names return false.
+/// Unknown names return false. Selection is dispatcher API, not kernel
+/// code, so the std::string is fine. plt-lint: allow(kernel-purity)
 bool select_backend(const std::string& name);
 
 const char* backend_name(Backend backend);

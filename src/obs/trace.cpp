@@ -298,18 +298,18 @@ void sort_tree(TraceNode& node) {
 
 }  // namespace
 
-TraceCollector::TraceCollector() : impl_(new TraceCollectorImpl()) {}
+TraceCollector::TraceCollector()
+    : impl_(std::make_unique<TraceCollectorImpl>()) {}
 
 TraceCollector::~TraceCollector() {
   if (installed_) uninstall();
-  delete impl_;
 }
 
 void TraceCollector::install() {
   if (installed_) return;
   prev_ = detail::g_collector.load(std::memory_order_acquire);
   detail::g_epoch.fetch_add(1, std::memory_order_acq_rel);
-  detail::g_collector.store(impl_, std::memory_order_release);
+  detail::g_collector.store(impl_.get(), std::memory_order_release);
   installed_ = true;
 }
 

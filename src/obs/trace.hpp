@@ -217,8 +217,8 @@ class TraceCollector {
   std::vector<std::vector<TraceEvent>> thread_events() const;
 
  private:
-  TraceCollectorImpl* impl_;
-  TraceCollectorImpl* prev_ = nullptr;
+  std::unique_ptr<TraceCollectorImpl> impl_;
+  TraceCollectorImpl* prev_ = nullptr;  ///< non-owning: the nested collector
   bool installed_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <future>
 #include <vector>
 
+#include "core/validate.hpp"
 #include "util/thread_pool.hpp"
 
 namespace plt::parallel {
@@ -21,10 +22,19 @@ void merge_plt(core::Plt& target, const core::Plt& source) {
 core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
                              const BuildOptions& options) {
   PLT_ASSERT(options.threads >= 1, "need at least one worker");
+  // Under PLT_VALIDATE the finished tree — single-chunk or pairwise-merged —
+  // is structurally checked before it is handed out; a merge bug surfaces
+  // here instead of as wrong supports much later.
+  core::ValidateOptions validate_options;
+  validate_options.expect_prefix_closed = options.build.insert_prefixes;
   const std::size_t chunks =
       std::min<std::size_t>(options.threads, std::max<std::size_t>(
                                                  1, ranked_db.size()));
-  if (chunks <= 1) return core::build_plt(ranked_db, max_rank, options.build);
+  if (chunks <= 1) {
+    core::Plt tree = core::build_plt(ranked_db, max_rank, options.build);
+    core::maybe_validate(tree, "build_plt_parallel", validate_options);
+    return tree;
+  }
 
   // Chunk boundaries over the transaction index space.
   const std::size_t per_chunk = (ranked_db.size() + chunks - 1) / chunks;
@@ -103,6 +113,8 @@ core::Plt build_plt_parallel(const tdb::Database& ranked_db, Rank max_rank,
       next.push_back(std::move(locals[i]));
     locals = std::move(next);
   }
+  core::maybe_validate(locals.front(), "build_plt_parallel: merged tree",
+                       validate_options);
   return std::move(locals.front());
 }
 

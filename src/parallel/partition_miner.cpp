@@ -6,6 +6,7 @@
 
 #include "core/builder.hpp"
 #include "core/projection_pool.hpp"
+#include "core/validate.hpp"
 #include "obs/trace.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
@@ -77,6 +78,13 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
     }
   }
   result.build_seconds = build_timer.seconds();
+  // Under PLT_VALIDATE every per-rank conditional database is structurally
+  // checked before any worker mines it (the merged output is only as good
+  // as the CDs it came from).
+  if (core::validation_enabled())
+    for (Rank j = 1; j <= max_rank; ++j)
+      core::validate_or_throw(partitions[j - 1],
+                              "mine_parallel: partition CD");
   for (const auto& p : partitions) result.structure_bytes += p.memory_usage();
 
   Timer mine_timer;

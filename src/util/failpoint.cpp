@@ -38,6 +38,9 @@ struct FailpointRegistry::Impl {
   std::unordered_map<std::string, Point> points;
 };
 
+// The singleton is intentionally leaked (never destroyed) so failpoints
+// armed from PLT_FAILPOINTS stay valid during static destruction of the
+// code under test. plt-lint: allow(no-banned-apis)
 FailpointRegistry::FailpointRegistry() : impl_(new Impl) {
   if (const char* env = std::getenv("PLT_FAILPOINTS"))
     arm_from_spec(env);

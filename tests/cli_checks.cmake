@@ -43,6 +43,31 @@ elseif(CHECK STREQUAL "trace-files")
   if(NOT folded MATCHES "trace;mine")
     message(FATAL_ERROR "folded trace missing the mine stack:\n${folded}")
   endif()
+elseif(CHECK STREQUAL "validate")
+  # --validate must announce itself, run the structural checks on every PLT
+  # the invocation builds, and leave the mined results unchanged.
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup 2 --validate
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --validate exited ${code}:\n${err}")
+  endif()
+  if(NOT err MATCHES "structural validation: enabled")
+    message(FATAL_ERROR
+            "--validate did not announce validation; stderr was:\n${err}")
+  endif()
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup 2
+                  RESULT_VARIABLE ref_code
+                  OUTPUT_VARIABLE ref_out
+                  ERROR_VARIABLE ref_err)
+  if(NOT out STREQUAL ref_out)
+    message(FATAL_ERROR "--validate changed the mined output:\n"
+            "--- with --validate ---\n${out}"
+            "--- without ---\n${ref_out}")
+  endif()
 else()
   message(FATAL_ERROR "unknown CHECK: '${CHECK}'")
 endif()

@@ -175,6 +175,42 @@ TEST(Codec, CorruptPositionThrows) {
   EXPECT_THROW(decode_plt(blob), std::runtime_error);
 }
 
+TEST(Codec, WideFrequencySurvivesBothSubformats) {
+  // Block frames split the 64-bit freq into lo/hi u32 words; scalar frames
+  // emit one varint. Both paths must round-trip counts past 2^32 exactly
+  // (the -Wconversion audit's intentional-truncation sites in codec.cpp).
+  core::Plt plt(4);
+  const Count wide = (Count{1} << 32) + 3;
+  const Count wider = (Count{5} << 40) + 9;
+  plt.add(std::vector<Pos>{1, 2}, wide);
+  plt.add(std::vector<Pos>{3}, wider);
+  for (const bool block : {true, false}) {
+    EncodeOptions options;
+    options.block_frames = block;
+    const auto blob = encode_plt(plt, options);
+    EXPECT_EQ(blob.size(), encoded_size(plt, options));
+    const auto decoded = decode_plt(blob);
+    EXPECT_EQ(decoded.freq_of(std::vector<Pos>{1, 2}), wide)
+        << "block=" << block;
+    EXPECT_EQ(decoded.freq_of(std::vector<Pos>{3}), wider)
+        << "block=" << block;
+  }
+}
+
+TEST(Codec, OversizedPositionVarintThrows) {
+  // A position varint just past 32 bits would truncate to the in-range
+  // value 2 if the decoder narrowed blindly; the guard must reject the
+  // entry instead (silent-truncation regression for the static_cast<Pos>).
+  std::vector<std::uint8_t> blob{'P', 'L', 'T', '1'};
+  put_varint(blob, 4);                 // max_rank
+  put_varint(blob, 1);                 // one partition
+  put_varint(blob, 1);                 // length 1
+  put_varint(blob, 1);                 // one entry
+  put_varint(blob, (1ull << 32) + 2);  // position overflows Pos
+  put_varint(blob, 1);                 // freq
+  EXPECT_THROW(decode_plt(blob), std::runtime_error);
+}
+
 TEST(Codec, RawDatabaseBytes) {
   const auto db = tdb::Database::from_rows({{1, 2, 3}, {4}});
   EXPECT_EQ(raw_database_bytes(db), 4u * sizeof(Item) +

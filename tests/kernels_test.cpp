@@ -275,6 +275,43 @@ TEST(KernelDiff, VarintBlockTruncationIsAnError) {
   }
 }
 
+TEST(KernelDiff, VarintBlockByteLengthBoundaries) {
+  // Deterministic pins at every group-varint byte-length boundary,
+  // including the full-width 0xffffffff lane: the encoder's truncating
+  // byte-extraction casts (-Wconversion audit) must shed exactly the bits
+  // the next lane re-reads.
+  const std::vector<std::uint32_t> values = {
+      0,        1,         0xffu,      0x100u,      0xffffu,
+      0x10000u, 0xffffffu, 0x1000000u, 0xffffffffu};
+  std::vector<std::uint8_t> bytes(kernels::encoded_block_bound(values.size()));
+  const std::size_t len = kernels::scalar_dispatch().encode_varint_block(
+      values.data(), values.size(), bytes.data());
+  // 3 control bytes (groups of 4,4,1) + Σ byte lengths 1+1+1+2+2+3+3+4+4.
+  EXPECT_EQ(len, 24u);
+  std::vector<std::uint32_t> decoded(values.size());
+  EXPECT_EQ(kernels::scalar_dispatch().decode_varint_block(
+                bytes.data(), len, decoded.data(), values.size()),
+            len);
+  EXPECT_EQ(decoded, values);
+  for (const Dispatch* d : simd_backends()) {
+    std::vector<std::uint8_t> got_bytes(bytes.size());
+    EXPECT_EQ(d->encode_varint_block(values.data(), values.size(),
+                                     got_bytes.data()),
+              len)
+        << d->name;
+    EXPECT_TRUE(std::equal(bytes.begin(),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(len),
+                           got_bytes.begin()))
+        << d->name;
+    std::fill(decoded.begin(), decoded.end(), 0u);
+    EXPECT_EQ(d->decode_varint_block(bytes.data(), len, decoded.data(),
+                                     values.size()),
+              len)
+        << d->name;
+    EXPECT_EQ(decoded, values) << d->name;
+  }
+}
+
 TEST(KernelDiff, IntersectSortedAndCount) {
   const auto backends = simd_backends();
   if (backends.empty()) GTEST_SKIP() << "no SIMD backend compiled/supported";

@@ -1,0 +1,42 @@
+// assert-untrusted-index fixture: decode/read/parse functions that
+// subscript without a PLT_ASSERT / throw are the bug; guarded ones and
+// non-decode helpers are fine.
+#include <cstddef>
+#include <stdexcept>
+
+#define PLT_ASSERT(cond, msg) ((void)0)
+
+namespace fixture {
+
+// EXPECT(assert-untrusted-index)
+unsigned decode_header(const unsigned char* bytes, std::size_t n) {
+  unsigned value = 0;
+  for (std::size_t i = 0; i < 4; ++i) value |= bytes[i];
+  return value + static_cast<unsigned>(n);
+}
+
+unsigned decode_checked(const unsigned char* bytes, std::size_t n) {
+  if (n < 4) throw std::runtime_error("truncated");
+  unsigned value = 0;
+  for (std::size_t i = 0; i < 4; ++i) value |= bytes[i];
+  return value;
+}
+
+unsigned read_asserted(const unsigned char* bytes, std::size_t n) {
+  PLT_ASSERT(n >= 4, "need 4 bytes");
+  return bytes[0] | bytes[3];
+}
+
+// Not a decode/read/parse name: subscripting is the caller's business.
+unsigned sum_block(const unsigned char* bytes, std::size_t n) {
+  unsigned value = 0;
+  for (std::size_t i = 0; i < n; ++i) value += bytes[i];
+  return value;
+}
+
+// "thread" merely contains "read": not an untrusted-input function.
+unsigned thread_local_slot(const unsigned* slots, std::size_t i) {
+  return slots[i];
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// control-coverage fixture: binding a MiningControl and never consulting
+// it is the bug; consulting, forwarding, or storing it is fine, and
+// declarations without bodies are out of scope.
+namespace plt::core {
+class MiningControl {
+ public:
+  bool should_stop(unsigned long bytes) const;
+};
+}  // namespace plt::core
+
+namespace fixture {
+
+// EXPECT(control-coverage)
+int drops_cancellation(const plt::core::MiningControl* control, int work) {
+  int done = 0;
+  for (int i = 0; i < work; ++i) ++done;
+  return done;
+}
+
+int checks_properly(const plt::core::MiningControl* control, int work) {
+  int done = 0;
+  for (int i = 0; i < work; ++i) {
+    if (control != nullptr && control->should_stop(0)) break;
+    ++done;
+  }
+  return done;
+}
+
+int forwards(const plt::core::MiningControl& control, int work) {
+  return checks_properly(&control, work);
+}
+
+// A declaration binds nothing: no body, no finding.
+int just_a_prototype(const plt::core::MiningControl* control, int work);
+
+struct Scope {
+  // Constructor-initializer use counts as a use.
+  explicit Scope(const plt::core::MiningControl* c) : control(c) {}
+  const plt::core::MiningControl* control;
+};
+
+}  // namespace fixture

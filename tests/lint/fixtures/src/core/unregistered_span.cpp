@@ -1,0 +1,24 @@
+// span-registry fixture: names must be literals found in the registry
+// (fixture registry: spans {mine, projection}, counters {itemsets-total,
+// kernel.demo.bytes, kernel.demo.calls}).
+#define PLT_SPAN(name) ((void)name)
+#define PLT_TRACE_COUNT(name, n) ((void)name)
+
+namespace obs {
+inline void count_kernel(const char*, const char*, unsigned long) {}
+}  // namespace obs
+
+const char* dynamic_name();
+
+void phases() {
+  PLT_SPAN("mine");
+  PLT_SPAN("totally-unregistered");  // EXPECT(span-registry)
+  PLT_TRACE_COUNT("itemsets-total", 3);
+  PLT_TRACE_COUNT("bogus-counter", 3);  // EXPECT(span-registry)
+  PLT_SPAN(dynamic_name());  // EXPECT(span-registry)
+  obs::count_kernel("kernel.demo.calls", "kernel.demo.bytes", 64);
+  obs::count_kernel("kernel.oops.calls",  // EXPECT(span-registry)
+                    "kernel.demo.bytes", 64);
+  // plt-lint: allow(span-registry)
+  PLT_SPAN("suppressed-and-unregistered");
+}

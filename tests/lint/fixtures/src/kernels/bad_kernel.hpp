@@ -1,0 +1,32 @@
+// kernel-purity fixture: a kernel implementation that allocates, throws,
+// and does IO. Every marked line must be reported; the suppressed one and
+// the comment/string decoys must not.
+#pragma once
+
+// Words inside comments never count: new delete throw cout malloc.
+#include <cstddef>
+
+namespace fixture {
+
+inline int* allocate_scratch(std::size_t n) {
+  return new int[n];  // EXPECT(kernel-purity) EXPECT(no-banned-apis)
+}
+
+inline void report(int code) {
+  if (code != 0) throw code;  // EXPECT(kernel-purity)
+}
+
+inline const char* describe() {
+  return "a string mentioning new and throw is fine";
+}
+
+// plt-lint: allow(kernel-purity)
+inline void* intentional(std::size_t n) { return malloc(n); }
+
+inline int pure_kernel(const int* data, std::size_t n) {
+  int sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += data[i];
+  return sum;
+}
+
+}  // namespace fixture

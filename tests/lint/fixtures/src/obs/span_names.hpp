@@ -1,0 +1,19 @@
+// Minimal registry for the fixture tree: the golden tests run plt_lint
+// with --root pointing here, so this file plays the role of the real
+// src/obs/span_names.hpp.
+#pragma once
+
+namespace plt::obs::names {
+
+inline constexpr const char* kSpans[] = {
+    "mine",
+    "projection",
+};
+
+inline constexpr const char* kCounters[] = {
+    "itemsets-total",
+    "kernel.demo.bytes",
+    "kernel.demo.calls",
+};
+
+}  // namespace plt::obs::names

@@ -1,0 +1,35 @@
+// no-banned-apis fixture: nondeterministic / unsafe APIs and raw
+// new/delete. `= delete`, make_unique-style code and strings are fine.
+#include <cstdlib>
+#include <memory>
+
+namespace fixture {
+
+int roll_dice() {
+  return rand();  // EXPECT(no-banned-apis)
+}
+
+void seed_dice(unsigned s) {
+  srand(s);  // EXPECT(no-banned-apis)
+}
+
+int* raw_alloc(int n) {
+  return new int[n];  // EXPECT(no-banned-apis)
+}
+
+void raw_free(int* p) {
+  delete[] p;  // EXPECT(no-banned-apis)
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // fine: deleted function, not delete-expr
+};
+
+std::unique_ptr<int> good_alloc() { return std::make_unique<int>(7); }
+
+const char* describe() { return "rand and new inside a string are fine"; }
+
+// plt-lint: allow(no-banned-apis)
+int suppressed_roll() { return rand(); }
+
+}  // namespace fixture

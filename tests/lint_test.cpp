@@ -1,0 +1,223 @@
+// plt_lint unit + golden-fixture tests. The fixtures under
+// tests/lint/fixtures mimic the repo layout; every line that must be
+// reported carries a trailing `EXPECT(rule)` marker (a comment-only marker
+// line points at the next line), so each fixture is its own golden file:
+// the test derives the expected (line, rule) set from the markers and
+// requires the linter to produce exactly that — nothing missing, nothing
+// extra, suppressions honoured.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace plt::lint {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fixture_root() { return PLT_LINT_FIXTURE_DIR; }
+
+LintConfig fixture_config() {
+  LintConfig config;
+  parse_registry(read_file(fixture_root() + "/src/obs/span_names.hpp"),
+                 config.registry_spans, config.registry_counters);
+  return config;
+}
+
+using Expected = std::multiset<std::pair<std::size_t, std::string>>;
+
+/// Expected findings encoded in the fixture itself: `EXPECT(rule)` markers
+/// on the offending line, or on a comment-only line directly above it.
+Expected parse_markers(const SourceText& text) {
+  Expected expected;
+  const std::string tag = "EXPECT(";
+  for (std::size_t l = 0; l < text.raw.size(); ++l) {
+    const std::string& raw = text.raw[l];
+    const std::string& code = text.lines[l];
+    const bool comment_only =
+        std::all_of(code.begin(), code.end(),
+                    [](char c) { return c == ' ' || c == '\t'; });
+    for (std::size_t at = raw.find(tag); at != std::string::npos;
+         at = raw.find(tag, at + tag.size())) {
+      const std::size_t close = raw.find(')', at);
+      if (close == std::string::npos) break;
+      const std::string rule =
+          raw.substr(at + tag.size(), close - at - tag.size());
+      expected.emplace(comment_only ? l + 2 : l + 1, rule);
+    }
+  }
+  return expected;
+}
+
+void expect_golden(const std::string& rel_path) {
+  const std::string content = read_file(fixture_root() + "/" + rel_path);
+  const SourceText text = classify(content);
+  const Expected expected = parse_markers(text);
+  ASSERT_FALSE(expected.empty()) << rel_path << " has no EXPECT markers";
+
+  Expected actual;
+  for (const Finding& f : lint_file(rel_path, content, fixture_config())) {
+    EXPECT_EQ(f.file, rel_path);
+    EXPECT_FALSE(f.message.empty());
+    actual.emplace(f.line, f.rule);
+  }
+  EXPECT_EQ(actual, expected) << "findings diverge from the EXPECT "
+                              << "markers in " << rel_path;
+}
+
+TEST(LintGolden, KernelPurity) {
+  expect_golden("src/kernels/bad_kernel.hpp");
+}
+TEST(LintGolden, ControlCoverage) {
+  expect_golden("src/core/ignores_control.cpp");
+}
+TEST(LintGolden, AssertUntrustedIndex) {
+  expect_golden("src/compress/unguarded_decode.cpp");
+}
+TEST(LintGolden, SpanRegistry) {
+  expect_golden("src/core/unregistered_span.cpp");
+}
+TEST(LintGolden, NoBannedApis) {
+  expect_golden("src/util/banned.cpp");
+}
+
+TEST(LintGolden, RegistryFixtureParses) {
+  const LintConfig config = fixture_config();
+  EXPECT_EQ(config.registry_spans,
+            (std::vector<std::string>{"mine", "projection"}));
+  EXPECT_EQ(config.registry_counters,
+            (std::vector<std::string>{"itemsets-total", "kernel.demo.bytes",
+                                      "kernel.demo.calls"}));
+}
+
+TEST(LintGolden, RealRegistryParses) {
+  // The real registry must parse and contain the core mining names the
+  // library emits on every run.
+  std::vector<std::string> spans, counters;
+  parse_registry(read_file(std::string(PLT_LINT_REPO_SRC) +
+                           "/obs/span_names.hpp"),
+                 spans, counters);
+  EXPECT_NE(std::find(spans.begin(), spans.end(), "mine"), spans.end());
+  EXPECT_NE(std::find(counters.begin(), counters.end(), "itemsets-total"),
+            counters.end());
+  EXPECT_GT(spans.size(), 8u);
+  EXPECT_GT(counters.size(), 15u);
+}
+
+// --- unit tests over the library pieces --------------------------------
+
+TEST(LintClassify, BlanksCommentsTracksStrings) {
+  const SourceText text = classify(
+      "int a; // new here\n"
+      "/* throw\n"
+      "   rand */ int b;\n"
+      "const char* s = \"new int\";\n");
+  ASSERT_EQ(text.line_count(), 4u);
+  EXPECT_EQ(text.lines[0].find("new"), std::string::npos);
+  EXPECT_EQ(text.lines[1].find("throw"), std::string::npos);
+  EXPECT_EQ(text.lines[2].find("rand"), std::string::npos);
+  EXPECT_NE(text.lines[2].find("int b;"), std::string::npos);
+  // The string chars survive but are marked in_string.
+  const std::size_t quote = text.lines[3].find('"');
+  ASSERT_NE(quote, std::string::npos);
+  EXPECT_TRUE(text.in_string[3][quote]);
+  EXPECT_TRUE(text.in_string[3][text.lines[3].find("new int")]);
+  EXPECT_FALSE(text.in_string[3][0]);
+  // Raw lines keep the original text.
+  EXPECT_NE(text.raw[0].find("// new here"), std::string::npos);
+}
+
+TEST(LintClassify, RawStringsAndCharLiterals) {
+  const SourceText text = classify(
+      "auto r = R\"(new \"quoted\" throw)\";\n"
+      "char c = '\\''; int after = 1;\n");
+  const std::size_t inner = text.lines[0].find("throw");
+  ASSERT_NE(inner, std::string::npos);
+  EXPECT_TRUE(text.in_string[0][inner]);
+  const std::size_t after = text.lines[1].find("after");
+  ASSERT_NE(after, std::string::npos);
+  EXPECT_FALSE(text.in_string[1][after]);
+}
+
+TEST(LintSuppressions, LineAndFileScopes) {
+  const SourceText text = classify(
+      "// plt-lint: allow-file(span-registry)\n"
+      "int a;\n"
+      "// plt-lint: allow(no-banned-apis, kernel-purity)\n"
+      "int b;\n"
+      "int c;\n");
+  const Suppressions sup = parse_suppressions(text);
+  EXPECT_TRUE(sup.allows("span-registry", 1));
+  EXPECT_TRUE(sup.allows("span-registry", 5));
+  EXPECT_FALSE(sup.allows("no-banned-apis", 2));
+  EXPECT_TRUE(sup.allows("no-banned-apis", 3));   // the pragma line
+  EXPECT_TRUE(sup.allows("no-banned-apis", 4));   // ...and the next
+  EXPECT_TRUE(sup.allows("kernel-purity", 4));
+  EXPECT_FALSE(sup.allows("no-banned-apis", 5));
+  EXPECT_FALSE(sup.allows("control-coverage", 4));
+}
+
+TEST(LintRules, NamesAreStable) {
+  const std::vector<std::string> expected = {
+      "kernel-purity", "control-coverage", "assert-untrusted-index",
+      "span-registry", "no-banned-apis"};
+  EXPECT_EQ(all_rules(), expected);
+  for (const std::string& rule : expected) EXPECT_TRUE(is_rule(rule));
+  EXPECT_FALSE(is_rule("nonsense"));
+}
+
+TEST(LintRules, SubsetRunsOnlySelectedRules) {
+  LintConfig config = fixture_config();
+  config.rules = {"kernel-purity"};
+  const std::string rel = "src/kernels/bad_kernel.hpp";
+  for (const Finding& f :
+       lint_file(rel, read_file(fixture_root() + "/" + rel), config))
+    EXPECT_EQ(f.rule, "kernel-purity");
+}
+
+TEST(LintRules, PathScoping) {
+  // A kernel-purity violation outside src/kernels/ is not kernel code.
+  const std::string content = "int* f(int n) { return new int[n]; }\n";
+  LintConfig config = fixture_config();
+  config.rules = {"kernel-purity"};
+  EXPECT_TRUE(lint_file("src/core/f.cpp", content, config).empty());
+  EXPECT_EQ(lint_file("src/kernels/f.hpp", content, config).size(), 1u);
+  // Files outside src/ (tests, tools) are never linted for src contracts.
+  config.rules = all_rules();
+  EXPECT_TRUE(lint_file("tests/f.cpp", content, config).empty());
+}
+
+TEST(LintJson, EscapesAndSorts) {
+  Finding f1{"src/b.cpp", 7, "no-banned-apis", "uses \"rand\"", "rand();"};
+  Finding f2{"src/a.cpp", 9, "kernel-purity", "tab\there", "x\\y"};
+  const std::string json =
+      to_json({f1, f2}, {"kernel-purity", "no-banned-apis"}, 2);
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\":2"), std::string::npos);
+  EXPECT_NE(json.find("uses \\\"rand\\\""), std::string::npos);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("x\\\\y"), std::string::npos);
+  // a.cpp sorts before b.cpp regardless of argument order.
+  EXPECT_LT(json.find("src/a.cpp"), json.find("src/b.cpp"));
+}
+
+TEST(LintJson, EmptyReport) {
+  const std::string json = to_json({}, all_rules(), 0);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plt::lint

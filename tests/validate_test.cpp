@@ -1,0 +1,233 @@
+// Structural validation (DESIGN.md S24): a sound PLT passes every
+// paper-invariant check, a corrupted one is rejected with a diagnostic
+// naming the violated invariant, and the PLT_VALIDATE hooks in the
+// parallel / OOC / codec paths run the checks without changing results.
+#include <gtest/gtest.h>
+
+#include "compress/codec.hpp"
+#include "compress/ooc_miner.hpp"
+#include "core/builder.hpp"
+#include "core/miner.hpp"
+#include "core/validate.hpp"
+#include "datagen/quest.hpp"
+#include "parallel/parallel_build.hpp"
+#include "parallel/partition_miner.hpp"
+#include "test_support.hpp"
+#include "util/failpoint.hpp"
+
+#include <filesystem>
+
+namespace plt::core {
+namespace {
+
+/// Enables validation for one scope and always restores "disabled", so no
+/// test leaks the global toggle into its neighbours.
+class ValidationOn {
+ public:
+  ValidationOn() { set_validation_enabled(true); }
+  ~ValidationOn() { set_validation_enabled(false); }
+};
+
+tdb::Database quest_db(std::uint64_t seed = 7) {
+  datagen::QuestConfig cfg;
+  cfg.transactions = 300;
+  cfg.items = 40;
+  cfg.seed = seed;
+  return datagen::generate_quest(cfg);
+}
+
+TEST(Validate, SoundPltPasses) {
+  const auto built = build_from_database(plt::testing::paper_table1(), 2);
+  const ValidationReport report = validate(built.plt);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.vectors_checked, 0u);
+  EXPECT_GT(report.nodes_checked, 0u);
+  EXPECT_EQ(report.to_string(), "");
+}
+
+TEST(Validate, PrefixClosedBuildPassesMonotonicity) {
+  BuildOptions build;
+  build.insert_prefixes = true;
+  const auto built = build_from_database(quest_db(), 3,
+                                         tdb::ItemOrder::kById, build);
+  ValidateOptions options;
+  options.expect_prefix_closed = true;
+  const ValidationReport report = validate(built.plt, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Validate, EmptyPltPasses) {
+  const Plt plt(5);
+  EXPECT_TRUE(validate(plt).ok());
+}
+
+TEST(Validate, CorruptedStoredSumRejected) {
+  auto built = build_from_database(plt::testing::paper_table1(), 2);
+  // Break Lemma 4.1.1: the stored sum no longer equals Σ positions. The
+  // same corruption desynchronizes the sum index (Definition 4.1.3).
+  ASSERT_FALSE(built.plt.bucket(built.plt.max_rank()).empty());
+  const Plt::Ref ref = built.plt.bucket(built.plt.max_rank()).front();
+  built.plt.entry(ref).sum -= 1;
+  const ValidationReport report = validate(built.plt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("sum"), std::string::npos)
+      << report.to_string();
+  EXPECT_THROW(validate_or_throw(built.plt, "test"), ValidationError);
+}
+
+TEST(Validate, CorruptedArenaOffsetRejected) {
+  auto built = build_from_database(plt::testing::paper_table1(), 2);
+  Partition* partition = nullptr;
+  for (std::uint32_t k = built.plt.max_len(); k >= 1; --k)
+    if (built.plt.partition(k) != nullptr &&
+        !built.plt.partition(k)->empty()) {
+      partition = built.plt.partition(k);
+      break;
+    }
+  ASSERT_NE(partition, nullptr);
+  // Entries must tile the arena contiguously (offset == id * k); shifting
+  // one breaks the layout and must be rejected, not walked out of bounds.
+  partition->entry(0).offset += 1;
+  EXPECT_FALSE(validate(built.plt).ok());
+}
+
+TEST(Validate, BrokenSupportMonotonicityRejected) {
+  BuildOptions build;
+  build.insert_prefixes = true;
+  auto built = build_from_database(plt::testing::paper_table1(), 2,
+                                   tdb::ItemOrder::kById, build);
+  // Inflate the frequency of some length-2 vector far above its length-1
+  // prefix: legal for a conditional table, a lie for a prefix-closed one.
+  ASSERT_NE(built.plt.partition(2), nullptr);
+  ASSERT_FALSE(built.plt.partition(2)->empty());
+  built.plt.partition(2)->entry(0).freq += 1000000;
+  ValidateOptions options;
+  options.expect_prefix_closed = true;
+  EXPECT_FALSE(validate(built.plt, options).ok());
+  // Without the prefix-closed claim the same table is structurally fine.
+  EXPECT_TRUE(validate(built.plt).ok());
+}
+
+TEST(Validate, StandalonePartitionChecks) {
+  Partition partition(2);
+  partition.add(std::vector<Pos>{1, 2}, 3);
+  partition.add(std::vector<Pos>{2, 1}, 1);
+  EXPECT_TRUE(validate(partition, /*max_rank=*/4).ok());
+  // Lemma 4.1.2 upper bound: sum 3 exceeds a max_rank of 2.
+  EXPECT_FALSE(validate(partition, /*max_rank=*/2).ok());
+  // Unknown alphabet (max_rank 0) skips only the upper bound.
+  EXPECT_TRUE(validate(partition, /*max_rank=*/0).ok());
+  partition.entry(1).sum = 77;
+  EXPECT_FALSE(validate(partition, /*max_rank=*/4).ok());
+}
+
+TEST(Validate, EnabledToggleOverridesEnv) {
+  set_validation_enabled(true);
+  EXPECT_TRUE(validation_enabled());
+  set_validation_enabled(false);
+  EXPECT_FALSE(validation_enabled());
+}
+
+// --- hook coverage: the mining paths run their validation under the
+// toggle and still produce the reference results ------------------------
+
+TEST(Validate, SerialMineValidatesUnderToggle) {
+  const ValidationOn guard;
+  const auto db = quest_db(11);
+  const auto result = mine(db, 3, Algorithm::kPltConditional);
+  const auto reference = mine(db, 3, Algorithm::kApriori);
+  plt::testing::expect_same_itemsets(result.itemsets, reference.itemsets,
+                                     "validated serial mine");
+}
+
+TEST(Validate, ParallelMineValidatesEveryCd) {
+  const auto db = quest_db(12);
+  const auto reference = mine(db, 3, Algorithm::kPltConditional);
+  const ValidationOn guard;
+  parallel::ParallelOptions options;
+  options.threads = 4;
+  const auto result = parallel::mine_parallel(db, 3, options);
+  plt::testing::expect_same_itemsets(result.itemsets, reference.itemsets,
+                                     "validated parallel mine");
+}
+
+TEST(Validate, ParallelBuildValidatesMergedTree) {
+  const auto db = quest_db(13);
+  const auto built = core::build_from_database(db, 1);
+  const ValidationOn guard;
+  parallel::BuildOptions options;
+  options.threads = 4;
+  const Plt parallel_plt = parallel::build_plt_parallel(
+      built.view.db, built.view.alphabet(), options);
+  EXPECT_TRUE(validate(parallel_plt).ok());
+  EXPECT_EQ(parallel_plt.num_vectors(), built.plt.num_vectors());
+}
+
+TEST(Validate, CodecRoundTripValidatesDecodedTree) {
+  const ValidationOn guard;
+  const auto built = build_from_database(quest_db(14), 2);
+  const auto blob = compress::encode_plt(built.plt);
+  const Plt decoded = compress::decode_plt(blob);
+  EXPECT_EQ(decoded.num_vectors(), built.plt.num_vectors());
+  EXPECT_EQ(decoded.total_freq(), built.plt.total_freq());
+}
+
+TEST(Validate, OocResumeValidatesConditionals) {
+  FailpointRegistry::instance().disarm_all();
+  const auto db = quest_db(15);
+  const auto built = core::build_from_database(db, 3);
+  ASSERT_GT(built.view.alphabet(), 0u);
+  const auto blob = compress::encode_plt(built.plt);
+  std::vector<Item> item_of(built.view.alphabet());
+  for (Rank r = 1; r <= built.view.alphabet(); ++r)
+    item_of[r - 1] = built.view.item_of(r);
+
+  FrequentItemsets reference;
+  compress::mine_from_blob(blob, item_of, 3, collect_into(reference));
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "validate_resume.pltk")
+          .string();
+  const ValidationOn guard;
+  {
+    // Crash a few ranks in, leaving a partial checkpoint behind.
+    FailpointRegistry::Spec spec;
+    spec.mode = FailpointRegistry::Mode::kOneShot;
+    spec.n = 3;
+    FailpointRegistry::instance().arm("ooc.rank", spec);
+    compress::OocOptions options;
+    options.checkpoint_path = path;
+    FrequentItemsets partial;
+    EXPECT_THROW(compress::mine_from_blob(blob, item_of, 3,
+                                          collect_into(partial), nullptr,
+                                          options),
+                 InjectedFault);
+    FailpointRegistry::instance().disarm_all();
+  }
+  // The resumed run re-derives every conditional PLT under validation.
+  compress::OocOptions options;
+  options.checkpoint_path = path;
+  compress::OocStats stats;
+  FrequentItemsets resumed;
+  compress::mine_from_blob(blob, item_of, 3, collect_into(resumed), &stats,
+                           options);
+  EXPECT_GT(stats.resumed_ranks, 0u);
+  plt::testing::expect_same_itemsets(resumed, reference,
+                                     "validated OOC resume");
+  std::filesystem::remove(path);
+}
+
+TEST(Validate, HookRejectsCorruptionInsteadOfMining) {
+  // End-to-end proof the hook is live: a corrupted PLT fed to the decoder
+  // path through validate_or_throw surfaces ValidationError, not garbage.
+  auto built = build_from_database(plt::testing::paper_table1(), 2);
+  const Plt::Ref ref = built.plt.bucket(built.plt.max_rank()).front();
+  built.plt.entry(ref).sum -= 1;
+  const ValidationOn guard;
+  EXPECT_THROW(maybe_validate(built.plt, "corrupted"), ValidationError);
+  set_validation_enabled(false);
+  EXPECT_NO_THROW(maybe_validate(built.plt, "corrupted"));
+}
+
+}  // namespace
+}  // namespace plt::core

@@ -1,0 +1,876 @@
+// Implementation of the plt_lint rule passes. Everything here is pure
+// string processing over the classified source (no AST, no filesystem):
+// lint_file(path, content, config) -> findings. See lint.hpp for the rule
+// contract each pass enforces.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace plt::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when lines[line][pos..pos+word) is `word` with identifier
+/// boundaries on both sides.
+bool word_at(const std::string& line, std::size_t pos,
+             const std::string& word) {
+  if (line.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(line[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < line.size() && is_ident_char(line[end])) return false;
+  return true;
+}
+
+/// All word-boundary occurrences of `word` on a code line, skipping
+/// string-literal extents.
+std::vector<std::size_t> find_words(const SourceText& text, std::size_t line,
+                                    const std::string& word) {
+  std::vector<std::size_t> hits;
+  const std::string& s = text.lines[line];
+  for (std::size_t pos = s.find(word); pos != std::string::npos;
+       pos = s.find(word, pos + 1)) {
+    if (text.in_string[line][pos]) continue;
+    if (word_at(s, pos, word)) hits.push_back(pos);
+  }
+  return hits;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// starts_with for a path prefix ("src/kernels/").
+bool under(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool rule_enabled(const LintConfig& config, const char* rule) {
+  return std::find(config.rules.begin(), config.rules.end(), rule) !=
+         config.rules.end();
+}
+
+void add_finding(std::vector<Finding>& out, const SourceText& text,
+                 const Suppressions& suppressions, const std::string& file,
+                 std::size_t line_index, const char* rule,
+                 std::string message) {
+  const std::size_t line = line_index + 1;
+  if (suppressions.allows(rule, line)) return;
+  Finding f;
+  f.file = file;
+  f.line = line;
+  f.rule = rule;
+  f.message = std::move(message);
+  f.snippet = trimmed(text.raw[line_index]);
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------------
+// Flattened character stream: rules that reason about scopes (function
+// bodies, parameter lists) need to match parens/braces across physical
+// lines. Chars keeps (line, col) for every retained code character.
+// ---------------------------------------------------------------------------
+
+struct Chars {
+  std::string code;                ///< code chars, '\n' between lines
+  std::vector<std::size_t> line;   ///< source line index per char
+  std::vector<std::size_t> col;    ///< source column per char
+  std::vector<char> in_string;     ///< inside string/char literal
+};
+
+Chars flatten(const SourceText& text) {
+  Chars chars;
+  for (std::size_t l = 0; l < text.lines.size(); ++l) {
+    const std::string& s = text.lines[l];
+    for (std::size_t c = 0; c < s.size(); ++c) {
+      chars.code.push_back(s[c]);
+      chars.line.push_back(l);
+      chars.col.push_back(c);
+      chars.in_string.push_back(text.in_string[l][c]);
+    }
+    chars.code.push_back('\n');
+    chars.line.push_back(l);
+    chars.col.push_back(s.size());
+    chars.in_string.push_back(0);
+  }
+  return chars;
+}
+
+bool stream_word_at(const Chars& chars, std::size_t pos,
+                    const std::string& word) {
+  if (chars.in_string[pos]) return false;
+  if (chars.code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(chars.code[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < chars.code.size() && is_ident_char(chars.code[end]))
+    return false;
+  return true;
+}
+
+/// Index of the char that closes the bracket opened at `open` ('(' or '{'),
+/// or npos when unbalanced. Skips string-literal chars.
+std::size_t matching_close(const Chars& chars, std::size_t open) {
+  const char open_char = chars.code[open];
+  const char close_char = open_char == '(' ? ')' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < chars.code.size(); ++i) {
+    if (chars.in_string[i]) continue;
+    if (chars.code[i] == open_char) ++depth;
+    if (chars.code[i] == close_char && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Next non-whitespace code char index at/after `pos` (npos at EOF).
+std::size_t skip_space(const Chars& chars, std::size_t pos) {
+  while (pos < chars.code.size() &&
+         std::isspace(static_cast<unsigned char>(chars.code[pos])) != 0)
+    ++pos;
+  return pos < chars.code.size() ? pos : std::string::npos;
+}
+
+/// Word-boundary search for `word` in the flattened stream, starting at
+/// `from`, outside string literals.
+std::size_t find_stream_word(const Chars& chars, const std::string& word,
+                             std::size_t from) {
+  for (std::size_t pos = chars.code.find(word, from);
+       pos != std::string::npos; pos = chars.code.find(word, pos + 1))
+    if (stream_word_at(chars, pos, word)) return pos;
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: kernel-purity
+// ---------------------------------------------------------------------------
+
+/// Tokens a kernel implementation file must not contain. The word list is
+/// deliberately literal: kernels are leaf loops over raw pointers, so any
+/// of these names appearing at all is a contract break worth a look (and an
+/// explicit allow() when intentional, as in the dispatcher).
+const char* const kKernelBanned[] = {
+    "new",    "delete", "malloc",  "calloc", "realloc", "free",
+    "throw",  "printf", "fprintf", "cout",   "cerr",    "fopen",
+    "fwrite", "fread",  "vector",  "string", "getenv",  "abort",
+};
+
+void check_kernel_purity(const SourceText& text,
+                         const Suppressions& suppressions,
+                         const std::string& file,
+                         std::vector<Finding>& out) {
+  for (std::size_t l = 0; l < text.lines.size(); ++l) {
+    const std::string& line = text.lines[l];
+    if (!line.empty() && line[0] == '#') continue;  // preprocessor
+    for (const char* banned : kKernelBanned) {
+      if (find_words(text, l, banned).empty()) continue;
+      add_finding(out, text, suppressions, file, l, "kernel-purity",
+                  std::string("kernel code must not use '") + banned +
+                      "' (kernels never allocate, throw, or do IO)");
+      break;  // one finding per line is enough
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: control-coverage
+// ---------------------------------------------------------------------------
+
+/// Finds `MiningControl` parameter bindings: `MiningControl* name` /
+/// `MiningControl& name` (const or not) inside a parameter list whose
+/// function has a body, then requires the name (or a control-forwarding
+/// call) to appear between the binding and the body's closing brace.
+void check_control_coverage(const Chars& chars, const SourceText& text,
+                            const Suppressions& suppressions,
+                            const std::string& file,
+                            std::vector<Finding>& out) {
+  std::vector<std::size_t> reported_bodies;
+  for (std::size_t pos = find_stream_word(chars, "MiningControl", 0);
+       pos != std::string::npos;
+       pos = find_stream_word(chars, "MiningControl", pos + 1)) {
+    // Skip declarations of the type itself and qualified uses
+    // (MiningControl::..., class MiningControl, friend ...).
+    std::size_t after = skip_space(chars, pos + 13);
+    if (after == std::string::npos) continue;
+    if (chars.code.compare(after, 2, "::") == 0) continue;
+    {
+      // Look back for class/struct/friend/enum introducing the name.
+      std::size_t back = pos;
+      while (back > 0 && std::isspace(static_cast<unsigned char>(
+                             chars.code[back - 1])) != 0)
+        --back;
+      std::size_t word_end = back;
+      while (back > 0 && is_ident_char(chars.code[back - 1])) --back;
+      const std::string prev = chars.code.substr(back, word_end - back);
+      if (prev == "class" || prev == "struct" || prev == "friend" ||
+          prev == "enum")
+        continue;
+    }
+    // Require a pointer/reference declarator then an identifier:
+    // `const MiningControl* control` (const already consumed by the word
+    // scan landing on MiningControl).
+    if (chars.code[after] != '*' && chars.code[after] != '&') continue;
+    std::size_t name_begin = skip_space(chars, after + 1);
+    if (name_begin == std::string::npos) continue;
+    if (chars.code[name_begin] == 'c' &&
+        stream_word_at(chars, name_begin, "const"))
+      name_begin = skip_space(chars, name_begin + 5);
+    if (name_begin == std::string::npos ||
+        !is_ident_char(chars.code[name_begin]))
+      continue;
+    std::size_t name_end = name_begin;
+    while (name_end < chars.code.size() &&
+           is_ident_char(chars.code[name_end]))
+      ++name_end;
+    const std::string name =
+        chars.code.substr(name_begin, name_end - name_begin);
+
+    // A parameter binding sits inside a '(...)' group; find the close of
+    // the group we are in by scanning forward at depth 0.
+    int depth = 0;
+    std::size_t params_close = std::string::npos;
+    for (std::size_t i = name_end; i < chars.code.size(); ++i) {
+      if (chars.in_string[i]) continue;
+      const char c = chars.code[i];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        if (depth == 0) {
+          params_close = i;
+          break;
+        }
+        --depth;
+      }
+      if (c == ';' || c == '{') break;  // not a parameter after all
+    }
+    if (params_close == std::string::npos) continue;
+
+    // Definition (body) vs declaration: after the ')' skip specifiers
+    // (const, noexcept, override, trailing commas of an initializer list)
+    // until '{' or ';'. An initializer list (': member(...)') still ends at
+    // the body '{'.
+    std::size_t body_open = std::string::npos;
+    int paren_depth = 0;
+    for (std::size_t i = params_close + 1; i < chars.code.size(); ++i) {
+      if (chars.in_string[i]) continue;
+      const char c = chars.code[i];
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (paren_depth > 0) continue;
+      if (c == '{') {
+        body_open = i;
+        break;
+      }
+      if (c == ';' || c == '=') break;  // declaration / default argument
+    }
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close = matching_close(chars, body_open);
+    if (body_close == std::string::npos) continue;
+    if (std::find(reported_bodies.begin(), reported_bodies.end(),
+                  body_open) != reported_bodies.end())
+      continue;
+
+    // Search range: from past the parameter name through the body close —
+    // constructor initializer lists (`: control_(c)`) count as uses.
+    bool used = false;
+    for (std::size_t i = name_end; i <= body_close; ++i)
+      if (stream_word_at(chars, i, name)) {
+        used = true;
+        break;
+      }
+    if (!used) {
+      reported_bodies.push_back(body_open);
+      add_finding(out, text, suppressions, file, chars.line[pos],
+                  "control-coverage",
+                  "MiningControl parameter '" + name +
+                      "' is bound but never consulted or forwarded "
+                      "(cancellation would be silently lost)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: assert-untrusted-index
+// ---------------------------------------------------------------------------
+
+/// True when the identifier names a decode/read/parse-style function over
+/// untrusted bytes. "thread"/"spread"/"already" style words that merely
+/// contain "read" are excluded by requiring the stem at a word start.
+bool is_untrusted_fn_name(const std::string& name) {
+  const char* const stems[] = {"decode", "parse", "read", "get_varint"};
+  for (const char* stem : stems) {
+    const std::size_t at = name.find(stem);
+    if (at == std::string::npos) continue;
+    // stem must start the identifier or follow '_' (read_blob, do_decode).
+    if (at == 0 || name[at - 1] == '_') return true;
+  }
+  return false;
+}
+
+void check_assert_untrusted_index(const Chars& chars, const SourceText& text,
+                                  const Suppressions& suppressions,
+                                  const std::string& file,
+                                  std::vector<Finding>& out) {
+  const std::string& code = chars.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (chars.in_string[i] || !is_ident_char(code[i])) continue;
+    if (i > 0 && is_ident_char(code[i - 1])) continue;  // mid-identifier
+    std::size_t end = i;
+    while (end < code.size() && is_ident_char(code[end])) ++end;
+    const std::string name = code.substr(i, end - i);
+    const std::size_t name_line = chars.line[i];
+    i = end - 1;
+    if (!is_untrusted_fn_name(name)) continue;
+
+    // Function definition: identifier, '(' ... ')', then '{' (possibly
+    // through specifiers). Calls end at ';' or ',' first.
+    const std::size_t open = skip_space(chars, end);
+    if (open == std::string::npos || code[open] != '(') continue;
+    const std::size_t params_close = matching_close(chars, open);
+    if (params_close == std::string::npos) continue;
+    std::size_t body_open = std::string::npos;
+    for (std::size_t j = params_close + 1; j < code.size(); ++j) {
+      if (chars.in_string[j]) continue;
+      const char c = code[j];
+      if (c == '{') {
+        body_open = j;
+        break;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+      if (is_ident_char(c)) continue;  // const / noexcept / override
+      break;                           // ';' ',' ')' '=' ... — not a body
+    }
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close = matching_close(chars, body_open);
+    if (body_close == std::string::npos) continue;
+
+    // Scan the body: does it subscript, and does it guard?
+    bool subscripts = false;
+    bool guarded = false;
+    for (std::size_t j = body_open; j <= body_close; ++j) {
+      if (chars.in_string[j]) continue;
+      if (code[j] == '[') {
+        // subscript = '[' whose previous non-space char ends an expression
+        // (identifier, ')', ']'); excludes lambda captures & array decls.
+        std::size_t back = j;
+        while (back > body_open &&
+               std::isspace(static_cast<unsigned char>(code[back - 1])) != 0)
+          --back;
+        if (back > body_open) {
+          const char prev = code[back - 1];
+          if (is_ident_char(prev) || prev == ')' || prev == ']') {
+            // `buffer[1 << 16]` declarations: identifier directly after a
+            // type word is still caught here; rely on guards/allow() for
+            // those rare cases — but skip `operator[]`.
+            if (!(back >= 8 + body_open &&
+                  code.compare(back - 8, 8, "operator") == 0))
+              subscripts = true;
+          }
+        }
+      }
+      if (stream_word_at(chars, j, "PLT_ASSERT") ||
+          stream_word_at(chars, j, "throw") ||
+          stream_word_at(chars, j, "catch") ||
+          stream_word_at(chars, j, "fail") ||  // blob_format's thrower
+          stream_word_at(chars, j, "at"))
+        guarded = true;
+    }
+    if (subscripts && !guarded)
+      add_finding(out, text, suppressions, file, name_line,
+                  "assert-untrusted-index",
+                  "'" + name +
+                      "' subscripts decoded data without a PLT_ASSERT or "
+                      "bounds throw (untrusted-input contract)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: span-registry
+// ---------------------------------------------------------------------------
+
+/// Extracts the (skip+1)-th string literal inside the call whose '(' sits
+/// at (line, open). Stops at the call's matching ')', so a missing literal
+/// never picks one up from unrelated code further down.
+bool first_string_literal(const SourceText& text, std::size_t line,
+                          std::size_t open, std::string& literal,
+                          std::size_t skip_literals = 0) {
+  std::size_t found = 0;
+  int depth = 0;
+  for (std::size_t l = line; l < text.lines.size(); ++l) {
+    const std::string& s = text.lines[l];
+    for (std::size_t c = (l == line ? open : 0); c < s.size(); ++c) {
+      if (!text.in_string[l][c]) {
+        if (s[c] == '(') ++depth;
+        if (s[c] == ')' && --depth == 0) return false;  // call ended
+        continue;
+      }
+      // Opening quote: an in-string '"' whose predecessor is outside.
+      if (s[c] == '"' && (c == 0 || !text.in_string[l][c - 1])) {
+        std::string value;
+        std::size_t j = c + 1;
+        while (j < s.size() &&
+               !(s[j] == '"' &&
+                 (j + 1 >= s.size() || !text.in_string[l][j + 1])))
+          value.push_back(s[j++]);
+        if (found == skip_literals) {
+          literal = value;
+          return true;
+        }
+        ++found;
+        c = j;
+      }
+    }
+  }
+  return false;
+}
+
+void check_span_registry(const SourceText& text,
+                         const Suppressions& suppressions,
+                         const std::string& file, const LintConfig& config,
+                         std::vector<Finding>& out) {
+  struct Site {
+    const char* token;
+    bool counter;     ///< checks kCounters instead of kSpans
+    std::size_t arg;  ///< which string literal is the name
+  };
+  const Site sites[] = {
+      {"PLT_SPAN", false, 0},
+      {"PLT_TRACE_COUNT", true, 0},
+  };
+  for (std::size_t l = 0; l < text.lines.size(); ++l) {
+    const std::string& line = text.lines[l];
+    if (!line.empty() && line[0] == '#') continue;  // macro definitions
+    for (const Site& site : sites) {
+      for (const std::size_t pos : find_words(text, l, site.token)) {
+        const std::size_t open = line.find('(', pos);
+        if (open == std::string::npos) continue;
+        std::string name;
+        if (!first_string_literal(text, l, open, name)) {
+          add_finding(out, text, suppressions, file, l, "span-registry",
+                      std::string(site.token) +
+                          " name must be a string literal "
+                          "(registry check is impossible otherwise)");
+          continue;
+        }
+        const auto& registry =
+            site.counter ? config.registry_counters : config.registry_spans;
+        if (std::find(registry.begin(), registry.end(), name) ==
+            registry.end())
+          add_finding(out, text, suppressions, file, l, "span-registry",
+                      "'" + name + "' is not registered in " +
+                          "src/obs/span_names.hpp (" +
+                          (site.counter ? "kCounters" : "kSpans") + ")");
+      }
+    }
+    // obs::count_kernel("calls-name", "bytes-name", n): both literals are
+    // counter names.
+    for (const std::size_t pos : find_words(text, l, "count_kernel")) {
+      const std::size_t open = line.find('(', pos);
+      if (open == std::string::npos) continue;
+      for (std::size_t arg = 0; arg < 2; ++arg) {
+        std::string name;
+        if (!first_string_literal(text, l, open, name, arg)) break;
+        if (std::find(config.registry_counters.begin(),
+                      config.registry_counters.end(),
+                      name) == config.registry_counters.end())
+          add_finding(out, text, suppressions, file, l, "span-registry",
+                      "'" + name + "' is not registered in "
+                                   "src/obs/span_names.hpp (kCounters)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-banned-apis
+// ---------------------------------------------------------------------------
+
+void check_no_banned_apis(const SourceText& text,
+                          const Suppressions& suppressions,
+                          const std::string& file,
+                          std::vector<Finding>& out) {
+  const char* const banned_words[] = {"rand", "srand", "strtok", "gets"};
+  for (std::size_t l = 0; l < text.lines.size(); ++l) {
+    const std::string& line = text.lines[l];
+    if (!line.empty() && line[0] == '#') continue;
+    for (const char* word : banned_words) {
+      if (find_words(text, l, word).empty()) continue;
+      add_finding(out, text, suppressions, file, l, "no-banned-apis",
+                  std::string("'") + word +
+                      "' is banned (non-deterministic / unsafe C API; use "
+                      "util/ facilities)");
+    }
+    if (line.find("std::regex") != std::string::npos &&
+        !text.in_string[l][line.find("std::regex")])
+      add_finding(out, text, suppressions, file, l, "no-banned-apis",
+                  "std::regex is banned (catastrophic worst cases; write a "
+                  "scanner)");
+    // Raw new: `new Type`, `new Type[...]`. Placement new and
+    // make_unique/make_shared do not match the word.
+    for (const std::size_t pos : find_words(text, l, "new")) {
+      std::size_t after = pos + 3;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0)
+        ++after;
+      if (after < line.size() &&
+          (is_ident_char(line[after]) || line[after] == '('))
+        add_finding(out, text, suppressions, file, l, "no-banned-apis",
+                    "raw 'new' is banned (use std::make_unique / "
+                    "containers)");
+    }
+    for (const std::size_t pos : find_words(text, l, "delete")) {
+      // `= delete` declarations are fine; `delete p` is not.
+      std::size_t before = pos;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(line[before - 1])) != 0)
+        --before;
+      if (before > 0 && line[before - 1] == '=') continue;
+      std::size_t after = pos + 6;
+      if (after < line.size() && line[after] == '[') after += 2;
+      while (after < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[after])) != 0)
+        ++after;
+      if (after < line.size() && (is_ident_char(line[after])))
+        add_finding(out, text, suppressions, file, l, "no-banned-apis",
+                    "raw 'delete' is banned (let unique_ptr own it)");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> rules = {
+      "kernel-purity",     "control-coverage", "assert-untrusted-index",
+      "span-registry",     "no-banned-apis",
+  };
+  return rules;
+}
+
+bool is_rule(const std::string& name) {
+  const auto& rules = all_rules();
+  return std::find(rules.begin(), rules.end(), name) != rules.end();
+}
+
+SourceText classify(const std::string& content) {
+  SourceText text;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  ///< raw-string delimiter, sans parens
+  std::string code_line, raw_line;
+  std::vector<char> string_line;
+
+  const auto flush = [&] {
+    text.lines.push_back(code_line);
+    text.raw.push_back(raw_line);
+    text.in_string.push_back(string_line);
+    code_line.clear();
+    raw_line.clear();
+    string_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    raw_line.push_back(c);
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+          string_line.push_back(0);
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+          string_line.push_back(0);
+          break;
+        }
+        if (c == 'R' && next == '"' &&
+            (code_line.empty() || !is_ident_char(code_line.back()))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          raw_delim.clear();
+          while (j < content.size() && content[j] != '(')
+            raw_delim.push_back(content[j++]);
+          state = State::kRawString;
+          code_line.push_back(c);
+          string_line.push_back(1);
+          break;
+        }
+        if (c == '"') {
+          state = State::kString;
+          code_line.push_back(c);
+          string_line.push_back(1);
+          break;
+        }
+        if (c == '\'' &&
+            !(code_line.size() >= 1 &&
+              std::isdigit(static_cast<unsigned char>(code_line.back())) !=
+                  0)) {
+          // skip digit separators (1'000'000)
+          state = State::kChar;
+          code_line.push_back(c);
+          string_line.push_back(1);
+          break;
+        }
+        code_line.push_back(c);
+        string_line.push_back(0);
+        break;
+      case State::kLineComment:
+        code_line.push_back(' ');
+        string_line.push_back(0);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          // consume the '/' too
+          code_line.push_back(' ');
+          string_line.push_back(0);
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          string_line.push_back(0);
+          ++i;
+          state = State::kCode;
+          break;
+        }
+        code_line.push_back(' ');
+        string_line.push_back(0);
+        break;
+      case State::kString:
+        code_line.push_back(c);
+        string_line.push_back(1);
+        if (c == '\\' && next != '\0') {
+          raw_line.push_back(next);
+          code_line.push_back(next);
+          string_line.push_back(1);
+          ++i;
+          break;
+        }
+        if (c == '"') state = State::kCode;
+        break;
+      case State::kChar:
+        code_line.push_back(c);
+        string_line.push_back(1);
+        if (c == '\\' && next != '\0') {
+          raw_line.push_back(next);
+          code_line.push_back(next);
+          string_line.push_back(1);
+          ++i;
+          break;
+        }
+        if (c == '\'') state = State::kCode;
+        break;
+      case State::kRawString:
+        code_line.push_back(c);
+        string_line.push_back(1);
+        if (c == ')' &&
+            content.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
+            i + 1 + raw_delim.size() < content.size() &&
+            content[i + 1 + raw_delim.size()] == '"') {
+          // copy the delimiter + closing quote through
+          for (std::size_t j = 0; j <= raw_delim.size(); ++j) {
+            ++i;
+            raw_line.push_back(content[i]);
+            code_line.push_back(content[i]);
+            string_line.push_back(1);
+          }
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty() || content.empty() ||
+      (!content.empty() && content.back() != '\n'))
+    flush();
+  return text;
+}
+
+bool Suppressions::allows(const std::string& rule, std::size_t line) const {
+  if (std::find(file_rules.begin(), file_rules.end(), rule) !=
+      file_rules.end())
+    return true;
+  if (line < allowed.size()) {
+    const auto& rules = allowed[line];
+    if (std::find(rules.begin(), rules.end(), rule) != rules.end())
+      return true;
+  }
+  return false;
+}
+
+Suppressions parse_suppressions(const SourceText& text) {
+  Suppressions sup;
+  // allowed is indexed by 1-based line; slot 0 unused. +2 so "this line
+  // and the next" can always spill.
+  sup.allowed.resize(text.raw.size() + 2);
+  const std::string tag = "plt-lint:";
+  for (std::size_t l = 0; l < text.raw.size(); ++l) {
+    const std::string& raw = text.raw[l];
+    const std::size_t at = raw.find(tag);
+    if (at == std::string::npos) continue;
+    std::size_t pos = at + tag.size();
+    while (pos < raw.size()) {
+      while (pos < raw.size() &&
+             !std::isalpha(static_cast<unsigned char>(raw[pos])))
+        ++pos;
+      std::size_t end = pos;
+      while (end < raw.size() &&
+             (is_ident_char(raw[end]) || raw[end] == '-'))
+        ++end;
+      const std::string word = raw.substr(pos, end - pos);
+      if (word != "allow" && word != "allow-file") break;
+      const std::size_t open = raw.find('(', end);
+      const std::size_t close =
+          open == std::string::npos ? std::string::npos
+                                    : raw.find(')', open);
+      if (close == std::string::npos) break;
+      // comma-separated rule list inside the parens
+      std::string rules_text = raw.substr(open + 1, close - open - 1);
+      std::size_t start = 0;
+      while (start <= rules_text.size()) {
+        std::size_t comma = rules_text.find(',', start);
+        if (comma == std::string::npos) comma = rules_text.size();
+        const std::string rule =
+            trimmed(rules_text.substr(start, comma - start));
+        if (!rule.empty()) {
+          if (word == "allow-file") {
+            sup.file_rules.push_back(rule);
+          } else {
+            sup.allowed[l + 1].push_back(rule);
+            sup.allowed[l + 2].push_back(rule);
+          }
+        }
+        start = comma + 1;
+      }
+      pos = close + 1;
+    }
+  }
+  return sup;
+}
+
+void parse_registry(const std::string& registry_content,
+                    std::vector<std::string>& spans,
+                    std::vector<std::string>& counters) {
+  spans.clear();
+  counters.clear();
+  const SourceText text = classify(registry_content);
+  std::vector<std::string>* current = nullptr;
+  for (std::size_t l = 0; l < text.lines.size(); ++l) {
+    const std::string& line = text.lines[l];
+    if (line.find("kSpans") != std::string::npos) current = &spans;
+    if (line.find("kCounters") != std::string::npos) current = &counters;
+    if (current == nullptr) continue;
+    // Collect every string literal on the line.
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      if (line[c] != '"' || !text.in_string[l][c]) continue;
+      std::string value;
+      ++c;
+      while (c < line.size() && line[c] != '"') value.push_back(line[c++]);
+      current->push_back(value);
+    }
+    if (line.find("};") != std::string::npos) current = nullptr;
+  }
+}
+
+std::vector<Finding> lint_file(const std::string& rel_path,
+                               const std::string& content,
+                               const LintConfig& config) {
+  std::vector<Finding> out;
+  const SourceText text = classify(content);
+  const Suppressions suppressions = parse_suppressions(text);
+
+  // Scope decisions (documented in DESIGN.md S24): purity only inside the
+  // kernel layer; control/index contracts in the layers that own them;
+  // registry + banned APIs across all of src/.
+  const bool in_src = under(rel_path, "src/");
+  const bool in_kernels = under(rel_path, "src/kernels/");
+  const bool registry_file = rel_path == "src/obs/span_names.hpp" ||
+                             under(rel_path, "src/obs/trace.");
+
+  if (rule_enabled(config, "kernel-purity") && in_kernels)
+    check_kernel_purity(text, suppressions, rel_path, out);
+
+  const bool needs_stream =
+      (rule_enabled(config, "control-coverage") && in_src) ||
+      (rule_enabled(config, "assert-untrusted-index") &&
+       (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/")));
+  if (needs_stream) {
+    const Chars chars = flatten(text);
+    if (rule_enabled(config, "control-coverage") && in_src)
+      check_control_coverage(chars, text, suppressions, rel_path, out);
+    if (rule_enabled(config, "assert-untrusted-index") &&
+        (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/")))
+      check_assert_untrusted_index(chars, text, suppressions, rel_path, out);
+  }
+  if (rule_enabled(config, "span-registry") && in_src && !registry_file)
+    check_span_registry(text, suppressions, rel_path, config, out);
+  if (rule_enabled(config, "no-banned-apis") && in_src)
+    check_no_banned_apis(text, suppressions, rel_path, out);
+  return out;
+}
+
+std::string to_json(std::vector<Finding> findings,
+                    const std::vector<std::string>& rules,
+                    std::size_t files_scanned) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[(c >> 4) & 0xf];
+            out += hex[c & 0xf];
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  };
+  std::string json = "{\"version\":1,\"files_scanned\":" +
+                     std::to_string(files_scanned) + ",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) json += ',';
+    json += '"' + escape(rules[i]) + '"';
+  }
+  json += "],\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i) json += ',';
+    json += "{\"file\":\"" + escape(f.file) + "\",\"line\":" +
+            std::to_string(f.line) + ",\"rule\":\"" + escape(f.rule) +
+            "\",\"message\":\"" + escape(f.message) + "\",\"snippet\":\"" +
+            escape(f.snippet) + "\"}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace plt::lint

@@ -1,0 +1,106 @@
+// plt_lint — project contract linter (S24). Token-level passes over the
+// repo's own sources that machine-check the contracts PRs 1-4 stated in
+// prose:
+//
+//   kernel-purity          src/kernels/ implementation code never
+//                          allocates, throws, or does IO (kernels.hpp
+//                          contract rule #3).
+//   control-coverage       a function that binds a MiningControl must
+//                          consult it (should_stop/set_control) or forward
+//                          it — accepting a control and ignoring it is how
+//                          projection loops silently lose cancellation.
+//   assert-untrusted-index decode/read/parse functions over blob/varint
+//                          data that subscript anything must carry a
+//                          PLT_ASSERT or throw a bounds error.
+//   span-registry          every PLT_SPAN / PLT_TRACE_COUNT /
+//                          obs::count_kernel name is a string literal
+//                          registered in src/obs/span_names.hpp (S23
+//                          determinism rule #1).
+//   no-banned-apis         no rand/srand, raw new/delete, std::regex,
+//                          strtok, gets anywhere in the library.
+//
+// The passes work on a character-classified view of each file (comments
+// stripped, string literals tracked), not an AST: robust to any C++ the
+// repo writes, zero build dependencies, and fast enough to run on every
+// commit. Findings are suppressable per site:
+//
+//   // plt-lint: allow(rule)        this line and the next
+//   // plt-lint: allow-file(rule)   the whole file (top-of-file pragmas)
+//
+// The library half (this header + lint.cpp) is UI-free so the golden
+// fixture tests link it directly; main.cpp adds file discovery
+// (compile_commands.json or directory walks) and the JSON report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace plt::lint {
+
+/// One rule violation at one site.
+struct Finding {
+  std::string file;     ///< path as given (normalized, '/'-separated)
+  std::size_t line = 0; ///< 1-based
+  std::string rule;
+  std::string message;
+  std::string snippet;  ///< the offending source line, trimmed
+};
+
+/// All rule names, in report order.
+const std::vector<std::string>& all_rules();
+bool is_rule(const std::string& name);
+
+struct LintConfig {
+  /// Rules to run (default: all five).
+  std::vector<std::string> rules = all_rules();
+  /// Registered span / counter names (from src/obs/span_names.hpp).
+  std::vector<std::string> registry_spans;
+  std::vector<std::string> registry_counters;
+};
+
+/// Character-classified source: comments blanked, string/char literal
+/// extents tracked so word scans never match inside either. Exposed for
+/// the unit tests.
+struct SourceText {
+  std::vector<std::string> lines;          ///< code with comments blanked
+  std::vector<std::string> raw;            ///< original lines
+  /// is_string[l][c] == true when lines[l][c] sits inside a string or
+  /// character literal (quotes included).
+  std::vector<std::vector<char>> in_string;
+
+  std::size_t line_count() const { return lines.size(); }
+};
+
+/// Splits and classifies a whole file.
+SourceText classify(const std::string& content);
+
+/// Parsed suppressions of one file.
+struct Suppressions {
+  std::vector<std::string> file_rules;  ///< allow-file(...) pragmas
+  /// allowed[line] (1-based) = rules allowed on that line.
+  std::vector<std::vector<std::string>> allowed;
+
+  bool allows(const std::string& rule, std::size_t line) const;
+};
+Suppressions parse_suppressions(const SourceText& text);
+
+/// Extracts the kSpans / kCounters literals from span_names.hpp content.
+void parse_registry(const std::string& registry_content,
+                    std::vector<std::string>& spans,
+                    std::vector<std::string>& counters);
+
+/// Lints one file. `rel_path` decides which rules apply (paths are
+/// interpreted relative to the repo root, '/'-separated).
+std::vector<Finding> lint_file(const std::string& rel_path,
+                               const std::string& content,
+                               const LintConfig& config);
+
+/// Serializes findings as the machine-readable report
+/// {"version":1,"files_scanned":N,"rules":[...],"findings":[...]}.
+/// Findings are emitted in (file, line, rule) order.
+std::string to_json(std::vector<Finding> findings,
+                    const std::vector<std::string>& rules,
+                    std::size_t files_scanned);
+
+}  // namespace plt::lint

@@ -1,0 +1,206 @@
+// plt_lint driver: file discovery + report formatting around the rule
+// library in lint.cpp.
+//
+//   plt_lint [--root DIR] [PATH...]            lint dirs/files under DIR
+//   plt_lint --compile-commands FILE           lint the TUs of a build
+//   plt_lint --json                            machine-readable report
+//   plt_lint --rules a,b                       run a subset of the rules
+//
+// Paths are interpreted relative to --root (default "."), which must be
+// the repo root so the per-rule path scoping (src/kernels/, src/compress/,
+// ...) lines up. With no PATH and no compile database, lints root/src.
+// Exit status: 0 clean, 1 findings, 2 usage or IO error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace plt;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--compile-commands FILE] [--json]\n"
+            << "  [--rules r1,r2,...] [PATH...]\n"
+            << "rules:";
+  for (const std::string& rule : lint::all_rules())
+    std::cerr << ' ' << rule;
+  std::cerr << '\n';
+  return 2;
+}
+
+bool read_file(const fs::path& path, std::string& content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  content = buffer.str();
+  return true;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Path of `p` relative to `root`, '/'-separated; empty when p is outside.
+std::string rel_to_root(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel =
+      fs::relative(fs::weakly_canonical(p, ec), root, ec);
+  if (ec || rel.empty()) return {};
+  std::string s = rel.generic_string();
+  if (s.rfind("..", 0) == 0) return {};
+  return s;
+}
+
+/// Pulls every "file" value out of a compile_commands.json without a JSON
+/// library: scan for the key token, then read the quoted value.
+std::vector<std::string> compile_db_files(const std::string& json) {
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  for (std::size_t at = json.find(key); at != std::string::npos;
+       at = json.find(key, at + key.size())) {
+    std::size_t pos = at + key.size();
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == ':' || json[pos] == '\t' ||
+            json[pos] == '\n'))
+      ++pos;
+    if (pos >= json.size() || json[pos] != '"') continue;
+    std::string value;
+    for (++pos; pos < json.size() && json[pos] != '"'; ++pos) {
+      if (json[pos] == '\\' && pos + 1 < json.size()) ++pos;
+      value.push_back(json[pos]);
+    }
+    files.push_back(value);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const fs::path root = fs::weakly_canonical(args.get("root", "."));
+
+  lint::LintConfig config;
+  if (args.has("rules")) {
+    config.rules.clear();
+    std::istringstream in(args.get("rules", ""));
+    for (std::string rule; std::getline(in, rule, ',');) {
+      if (rule.empty()) continue;
+      if (!lint::is_rule(rule)) {
+        std::cerr << "error: unknown rule '" << rule << "'\n";
+        return usage(argv[0]);
+      }
+      config.rules.push_back(rule);
+    }
+    if (config.rules.empty()) return usage(argv[0]);
+  }
+
+  // The span/counter registry is part of the tree being linted.
+  {
+    const fs::path registry = root / "src" / "obs" / "span_names.hpp";
+    std::string content;
+    if (read_file(registry, content)) {
+      lint::parse_registry(content, config.registry_spans,
+                           config.registry_counters);
+    } else if (std::find(config.rules.begin(), config.rules.end(),
+                         "span-registry") != config.rules.end()) {
+      std::cerr << "error: cannot read registry " << registry.string()
+                << " (required by span-registry; check --root)\n";
+      return 2;
+    }
+  }
+
+  // -- discover files --
+  std::vector<std::string> rel_files;
+  if (args.has("compile-commands")) {
+    std::string json;
+    if (!read_file(args.get("compile-commands", ""), json)) {
+      std::cerr << "error: cannot read "
+                << args.get("compile-commands", "") << '\n';
+      return 2;
+    }
+    for (const std::string& file : compile_db_files(json)) {
+      const std::string rel = rel_to_root(file, root);
+      if (!rel.empty()) rel_files.push_back(rel);
+    }
+  }
+  std::vector<std::string> inputs = args.positional();
+  // `plt-lint --json src`: Args reads bare-flag + positional as a
+  // key/value pair, so hand a non-boolean --json "value" back to the
+  // path list.
+  const bool json_output = args.has("json");
+  if (const std::string v = args.get("json", "true");
+      json_output && v != "true" && v != "1" && v != "yes")
+    inputs.push_back(v);
+  if (inputs.empty() && !args.has("compile-commands"))
+    inputs.push_back("src");
+  for (const std::string& input : inputs) {
+    const fs::path path =
+        fs::path(input).is_absolute() ? fs::path(input) : root / input;
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (const auto& entry :
+           fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          const std::string rel = rel_to_root(entry.path(), root);
+          if (!rel.empty()) rel_files.push_back(rel);
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      const std::string rel = rel_to_root(path, root);
+      rel_files.push_back(rel.empty() ? input : rel);
+    } else {
+      std::cerr << "error: no such file or directory: " << input << '\n';
+      return 2;
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  // -- lint --
+  std::vector<lint::Finding> findings;
+  std::size_t scanned = 0;
+  for (const std::string& rel : rel_files) {
+    std::string content;
+    if (!read_file(root / rel, content)) {
+      std::cerr << "error: cannot read " << (root / rel).string() << '\n';
+      return 2;
+    }
+    ++scanned;
+    auto file_findings = lint::lint_file(rel, content, config);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  const bool clean = findings.empty();
+  if (json_output) {
+    std::cout << lint::to_json(std::move(findings), config.rules, scanned)
+              << '\n';
+  } else {
+    std::sort(findings.begin(), findings.end(),
+              [](const lint::Finding& a, const lint::Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    for (const lint::Finding& f : findings)
+      std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
+                << f.message << "\n    " << f.snippet << '\n';
+    std::cerr << scanned << " files, " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << '\n';
+  }
+  return clean ? 0 : 1;
+}

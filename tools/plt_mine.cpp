@@ -23,6 +23,7 @@
 #include "core/closed.hpp"
 #include "core/miner.hpp"
 #include "core/queries.hpp"
+#include "core/validate.hpp"
 #include "datagen/registry.hpp"
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
@@ -49,7 +50,7 @@ int usage(const char* argv0) {
       << "  [--rules [--minconf C]] [--serialize FILE] [--stats]\n"
       << "  [--output text|csv] [--limit N] [--scale S]\n"
       << "  [--backend scalar|sse42|avx2|simd|auto]\n"
-      << "  [--trace FILE] [--trace-folded FILE]\n"
+      << "  [--validate] [--trace FILE] [--trace-folded FILE]\n"
       << "datasets: ";
   for (const auto& spec : datagen::dataset_registry())
     std::cerr << spec.name << ' ';
@@ -92,6 +93,13 @@ int main(int argc, char** argv) {
   // One session around everything the invocation does (mining, queries,
   // serialization); written on every exit path by the destructor.
   harness::TraceScope trace(args);
+  // --validate wires the PLT_VALIDATE machinery for this run: every PLT the
+  // mine builds or decodes gets the full structural check (DESIGN.md S24),
+  // and a violation aborts with a diagnostic instead of mining garbage.
+  if (args.get_bool("validate", false)) {
+    core::set_validation_enabled(true);
+    std::cerr << "structural validation: enabled\n";
+  }
   const std::string format = args.get("output", "text");
   const auto limit = static_cast<std::size_t>(args.get_int("limit", 50));
 
