@@ -31,6 +31,7 @@ plt_bench(bench_candidate_family)    # E15
 plt_bench(bench_closed_native)       # E16
 plt_bench(bench_projection_pool)     # E17
 plt_bench(bench_kernels)             # E18
+plt_bench(bench_adaptive)            # E20
 
 # Smoke run: every bench binary once at a tiny configuration — a cheap CI
 # guard that the whole bench suite still runs end to end. The subset-check
@@ -47,7 +48,7 @@ set(PLT_BENCH_SMOKE_TARGETS
   bench_parallel_partition bench_rank_ablation bench_condensed
   bench_incremental bench_ooc_mining bench_stream bench_sampling
   bench_filter_ablation bench_candidate_family bench_closed_native
-  bench_projection_pool bench_kernels)
+  bench_projection_pool bench_kernels bench_adaptive)
 set(PLT_BENCH_SMOKE_COMMANDS "")
 foreach(target ${PLT_BENCH_SMOKE_TARGETS})
   set(smoke_scale ${PLT_BENCH_SMOKE_SCALE})

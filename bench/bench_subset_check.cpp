@@ -193,6 +193,7 @@ BENCHMARK(BM_PairDecodeThenIncludes);
 int main(int argc, char** argv) {
   const plt::Args args(argc, argv);
   if (!plt::harness::apply_backend_flag(args)) return 2;
+  if (!plt::harness::apply_plan_flag(args)) return 2;
   plt::harness::TraceScope trace_scope(args);
   std::vector<char*> rest;
   for (int i = 0; i < argc; ++i) {

@@ -5,18 +5,99 @@
 // conditional cost grows as the threshold falls — this bench sweeps the
 // threshold down to 1 and reports where (if anywhere) top-down wins.
 // Also ablates the two top-down variants (canonical vs paper-staged sweep).
+// Emits BENCH_topdown_crossover.json (--out FILE): per-cell timings with the
+// dataset statistics the adaptive planner consumes, plus the winner per
+// support level — the planner's seed thresholds (core::PlanConfig) are
+// calibrated against this artifact.
+#include <fstream>
 #include <iostream>
 
 #include "harness/backend.hpp"
 #include "harness/datasets.hpp"
 #include "harness/report.hpp"
 #include "harness/tracing.hpp"
+#include "tdb/stats.hpp"
 #include "util/args.hpp"
+
+namespace {
+
+using namespace plt;
+
+void write_cells(std::ofstream& out, const std::vector<harness::Cell>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const harness::Cell& c = cells[i];
+    out << "      {\"minsup\": " << c.min_support << ", \"algorithm\": \""
+        << core::algorithm_name(c.algorithm)
+        << "\", \"total_seconds\": " << c.total_seconds
+        << ", \"frequent_itemsets\": " << c.frequent_itemsets
+        << ", \"max_length\": " << c.max_length
+        << ", \"failed\": " << (c.failed ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << '\n';
+  }
+}
+
+// Fastest non-failed algorithm per support level, with the ratio the
+// conditional strategy pays there — the crossover gap the planner's
+// root_topdown thresholds are seeded from.
+void write_winners(std::ofstream& out,
+                   const std::vector<harness::Cell>& cells) {
+  std::vector<Count> supports;
+  for (const harness::Cell& c : cells)
+    if (supports.empty() || supports.back() != c.min_support)
+      supports.push_back(c.min_support);
+  for (std::size_t i = 0; i < supports.size(); ++i) {
+    const harness::Cell* best = nullptr;
+    const harness::Cell* conditional = nullptr;
+    for (const harness::Cell& c : cells) {
+      if (c.min_support != supports[i]) continue;
+      if (c.algorithm == core::Algorithm::kPltConditional) conditional = &c;
+      if (c.failed) continue;
+      if (best == nullptr || c.total_seconds < best->total_seconds) best = &c;
+    }
+    if (best == nullptr) continue;
+    out << "      {\"minsup\": " << supports[i] << ", \"winner\": \""
+        << core::algorithm_name(best->algorithm)
+        << "\", \"best_seconds\": " << best->total_seconds;
+    if (conditional != nullptr && best->total_seconds > 0)
+      out << ", \"conditional_vs_best\": "
+          << conditional->total_seconds / best->total_seconds;
+    out << "}" << (i + 1 < supports.size() ? "," : "") << '\n';
+  }
+}
+
+void write_json(const std::string& path, double scale,
+                const tdb::Stats& stats,
+                const std::vector<harness::Cell>& cells,
+                const std::vector<harness::Cell>& guard_cells) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E4\",\n"
+      << "  \"title\": \"top-down vs conditional crossover\",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"dataset\": {\n"
+      << "    \"name\": \"short-dense\",\n"
+      << "    \"transactions\": " << stats.transactions << ",\n"
+      << "    \"distinct_items\": " << stats.distinct_items << ",\n"
+      << "    \"avg_len\": " << stats.avg_len << ",\n"
+      << "    \"max_len\": " << stats.max_len << ",\n"
+      << "    \"density\": " << stats.density << ",\n"
+      << "    \"support_gini\": " << stats.support_gini << "\n  },\n"
+      << "  \"rows\": [\n";
+  write_cells(out, cells);
+  out << "  ],\n  \"winners\": [\n";
+  write_winners(out, cells);
+  out << "  ],\n  \"guard_rows\": [\n";
+  write_cells(out, guard_cells);
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << '\n';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace plt;
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args)) return 2;
+  if (!harness::apply_plan_flag(args)) return 2;
   harness::TraceScope trace_scope(args);
   const double scale = args.get_double("scale", 1.0);
 
@@ -53,6 +134,9 @@ int main(int argc, char** argv) {
   harness::print_sweep(std::cout,
                        "long transactions trip the top-down guard",
                        guard_cells);
+
+  write_json(args.get("out", "BENCH_topdown_crossover.json"), scale,
+             tdb::compute_stats(db), cells, guard_cells);
 
   std::cout << "\nExpected shape: top-down pays a near-constant expansion\n"
                "cost across the whole sweep (it enumerates every subset\n"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -89,6 +90,10 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
                                      const core::ItemsetSink& sink,
                                      OocStats* stats,
                                      const OocOptions& options) {
+  if (!core::select_plan(options.plan))
+    throw std::invalid_argument("mine_from_blob: unknown plan \"" +
+                                options.plan +
+                                "\" (expected fixed or adaptive)");
   const core::MiningControl* control = options.control;
   const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
   const std::uint64_t failpoint0 = FailpointRegistry::instance().total_hits();
@@ -171,6 +176,14 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
   // One engine for the whole blob: every rank's conditional PLT recycles
   // the same pooled frames.
   core::ProjectionEngine engine;
+  // Shape-only planning: the streamed subtrees are inside one rank's CD,
+  // so there are no view-partition stats to hand over. Emission order is
+  // strategy-invariant, so checkpoint records stay exact across plans.
+  std::optional<core::Planner> planner;
+  if (core::active_plan() == core::PlanMode::kAdaptive) {
+    planner.emplace(options.plan_config);
+    engine.set_planner(&*planner);
+  }
 
   CheckpointRecord record;
   // All emissions of the current rank flow through this wrapper so the

@@ -19,6 +19,7 @@
 #include "compress/index.hpp"
 #include "core/exec_control.hpp"
 #include "core/itemset_collector.hpp"
+#include "core/planner.hpp"
 #include "obs/trace.hpp"
 
 namespace plt::compress {
@@ -46,6 +47,14 @@ struct OocOptions {
   /// With a checkpoint path set: replay a matching existing log instead of
   /// restarting from scratch. false always restarts (the log is rewritten).
   bool resume = true;
+  /// Execution plan ("", "fixed", "adaptive" — see core::select_plan).
+  /// Adaptive routes each streamed rank's conditional subtrees through the
+  /// planner; emissions stay byte-identical in content and order, so
+  /// checkpoints written under one plan replay under the other. Unknown
+  /// names throw std::invalid_argument.
+  std::string plan;
+  /// Cost-model thresholds used when the adaptive plan is active.
+  core::PlanConfig plan_config;
 };
 
 /// Mines every frequent itemset of the PLT serialized in `blob` at

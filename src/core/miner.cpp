@@ -8,13 +8,16 @@
 #include "baselines/eclat.hpp"
 #include "baselines/fpgrowth.hpp"
 #include "baselines/hmine.hpp"
+#include <optional>
 #include <stdexcept>
 
 #include "core/builder.hpp"
 #include "core/conditional.hpp"
+#include "core/planner.hpp"
 #include "core/topdown.hpp"
 #include "core/validate.hpp"
 #include "kernels/kernels.hpp"
+#include "tdb/stats.hpp"
 #include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
@@ -86,8 +89,31 @@ struct ResilienceScope {
   }
 };
 
+// Runs the top-down path for the adaptive root plan. Returns false when
+// the expansion guard overflowed — that throw happens before anything is
+// emitted, so the caller can fall back to the conditional walk cleanly.
+bool run_planned_topdown(const RankedView& view, Count min_support,
+                         const ItemsetSink& sink, const MineOptions& options,
+                         MineResult& result) {
+  Timer mine_timer;
+  TopDownOptions topdown;
+  topdown.max_transaction_len = options.topdown_max_transaction_len;
+  topdown.control = options.control;
+  TopDownStats stats;
+  try {
+    mine_topdown(view, min_support, sink, TopDownVariant::kCanonical,
+                 topdown, &stats);
+  } catch (const TopDownOverflow&) {
+    return false;
+  }
+  result.structure_bytes = stats.table_bytes;
+  result.mine_seconds = mine_timer.seconds();
+  return true;
+}
+
 MineResult mine_plt_family(const tdb::Database& db, Count min_support,
-                           Algorithm algorithm, const MineOptions& options) {
+                           Algorithm algorithm, const MineOptions& options,
+                           Planner* planner) {
   MineResult result;
   Timer build_timer;
   RankedView view = build_ranked_view(db, min_support, options.item_order);
@@ -98,6 +124,48 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
     case Algorithm::kPltConditionalNoFilter: {
       if (view.alphabet() == 0) break;
       const auto max_rank = static_cast<Rank>(view.alphabet());
+      // Root planning: only the default algorithm is up for grabs (the
+      // no-filter ablation must stay the literal Algorithm 3), and only
+      // when the adaptive plan is active. The view's global + partition
+      // stats are one extra pass; every decision lands in plan.* counters.
+      if (planner != nullptr && algorithm == Algorithm::kPltConditional) {
+        Planner::Root root;
+        {
+          PLT_SPAN("plan");
+          const tdb::Stats stats = tdb::compute_stats(view.db);
+          auto partitions =
+              tdb::compute_all_partition_stats(view.db, max_rank);
+          root = planner->choose_root(stats, partitions, min_support,
+                                      options.topdown_max_transaction_len);
+          planner->set_partition_stats(std::move(partitions));
+        }
+        if (root == Planner::Root::kTopDown) {
+          result.build_seconds = build_timer.seconds();
+          if (run_planned_topdown(view, min_support, sink, options,
+                                  result)) {
+            PLT_TRACE_COUNT("plan.root.topdown", 1);
+            result.plan_root = "topdown";
+            return result;
+          }
+          // Guard overflow before any emission: fall through to the
+          // conditional walk, planner still attached.
+          PLT_TRACE_COUNT("plan.root.fallback", 1);
+          result.plan_root = "fallback-conditional";
+        } else if (root == Planner::Root::kEclat) {
+          PLT_TRACE_COUNT("plan.root.eclat", 1);
+          result.plan_root = "eclat";
+          baselines::BaselineStats stats;
+          baselines::mine_eclat(db, min_support, sink, &stats,
+                                options.control);
+          result.build_seconds = stats.build_seconds;
+          result.mine_seconds = stats.mine_seconds;
+          result.structure_bytes = stats.structure_bytes;
+          return result;
+        } else {
+          PLT_TRACE_COUNT("plan.root.conditional", 1);
+          result.plan_root = "conditional";
+        }
+      }
       Plt plt = build_plt(view.db, max_rank);
       maybe_validate(plt, "mine: build_plt");
       result.build_seconds = build_timer.seconds();
@@ -111,6 +179,8 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
       std::vector<Item> suffix;
       ProjectionEngine engine;
       engine.set_control(options.control, result.structure_bytes);
+      if (algorithm == Algorithm::kPltConditional)
+        engine.set_planner(planner);
       engine.mine(plt, item_of, suffix, min_support, sink, cond);
       result.projection = engine.stats();
       result.mine_seconds = mine_timer.seconds();
@@ -155,7 +225,8 @@ MineResult mine_plt_family(const tdb::Database& db, Count min_support,
 }
 
 MineResult mine_impl(const tdb::Database& db, Count min_support,
-                     Algorithm algorithm, const MineOptions& options) {
+                     Algorithm algorithm, const MineOptions& options,
+                     Planner* planner) {
   const MiningControl* control = options.control;
   const ResilienceScope scope(control);
   switch (algorithm) {
@@ -164,7 +235,7 @@ MineResult mine_impl(const tdb::Database& db, Count min_support,
     case Algorithm::kPltTopDownCanonical:
     case Algorithm::kPltTopDownSweep: {
       MineResult result = mine_plt_family(db, min_support, algorithm,
-                                          options);
+                                          options, planner);
       scope.finish(result);
       return result;
     }
@@ -267,6 +338,14 @@ MineResult mine(const tdb::Database& db, Count min_support,
     throw std::invalid_argument("mine: unknown or unavailable kernel "
                                 "backend \"" +
                                 options.kernel_backend + '"');
+  if (!select_plan(options.plan))
+    throw std::invalid_argument("mine: unknown plan \"" + options.plan +
+                                "\" (expected fixed or adaptive)");
+  // The planner is per-mine (it captures the post-selection kernel tables
+  // and, on the facade path, the view's partition stats).
+  std::optional<Planner> planner;
+  if (active_plan() == PlanMode::kAdaptive)
+    planner.emplace(options.plan_config);
   // Every mining path funnels through here, so this one wrapper gives all
   // fifteen algorithms their root spans: "mine" > "<algorithm-name>" >
   // (whatever the path records below — the baselines stay coarse, the PLT
@@ -276,7 +355,8 @@ MineResult mine(const tdb::Database& db, Count min_support,
   {
     PLT_SPAN("mine");
     obs::Span algorithm_span(algorithm_name(algorithm));
-    result = mine_impl(db, min_support, algorithm, options);
+    result = mine_impl(db, min_support, algorithm, options,
+                       planner ? &*planner : nullptr);
     // status_counter_name maps every MineStatus onto a registered
     // status.* literal. plt-lint: allow(span-registry)
     PLT_TRACE_COUNT(status_counter_name(result.status), 1);

@@ -50,6 +50,14 @@ struct MineOptions {
   /// backend computes identical functions. Unknown or unavailable names
   /// throw std::invalid_argument.
   std::string kernel_backend;
+  /// Execution plan ("", "fixed", "adaptive" — see core::select_plan).
+  /// Empty keeps the process-wide selection (default fixed, or PLT_PLAN).
+  /// Adaptive lets the planner pick the root strategy and per-subtree
+  /// strategies/backends from dataset statistics; the mined output is
+  /// byte-identical either way. Unknown names throw std::invalid_argument.
+  std::string plan;
+  /// Cost-model thresholds used when the adaptive plan is active.
+  PlanConfig plan_config;
 };
 
 struct MineResult {
@@ -69,6 +77,10 @@ struct MineResult {
   /// Set when status == kBudgetExceeded: how to retry within the budget
   /// (e.g. switch to the out-of-core blob path).
   std::string degradation_hint;
+  /// Root strategy the adaptive planner executed ("conditional",
+  /// "topdown", "eclat", or "fallback-conditional" after a top-down
+  /// overflow); empty under the fixed plan or for non-planned algorithms.
+  std::string plan_root;
   /// The aggregated span tree of this mine (see obs/trace.hpp), set when
   /// runtime tracing is enabled (PLT_TRACE / obs::set_enabled) and no outer
   /// TraceSession was active — an outer session (plt-mine --trace, bench

@@ -15,6 +15,11 @@ void ProjectionStats::merge(const ProjectionStats& other) {
   bytes_recycled += other.bytes_recycled;
   bytes_fresh += other.bytes_fresh;
   steals += other.steals;
+  plan_pooled += other.plan_pooled;
+  plan_single_path += other.plan_single_path;
+  plan_eclat += other.plan_eclat;
+  plan_narrow += other.plan_narrow;
+  plan_wide += other.plan_wide;
 }
 
 bool ProjectionEngine::check_control() {
@@ -40,10 +45,10 @@ ProjectionEngine::Frame& ProjectionEngine::acquire(std::size_t depth) {
   return *pool_[depth];
 }
 
-bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
-                                    Count min_support, bool filter_items,
-                                    const std::vector<Item>& parent_items) {
-  PLT_SPAN("projection");
+Rank ProjectionEngine::peel_and_count(const kernels::Dispatch& kernel,
+                                      Rank parent_max, Count keep_threshold,
+                                      const std::vector<Item>& parent_items,
+                                      std::vector<Item>& child_items) {
   // Peel the whole conditional arena to absolute ranks in one kernel call:
   // sums_[k] is the running mod-2^32 total of every gap up to k, and each
   // record re-bases by subtracting the sum just before its offset — exact
@@ -51,8 +56,7 @@ bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
   // earn their keep (see kernels.hpp peel_prefixes).
   const std::vector<Pos>& arena = cond_.arena();
   sums_.resize(arena.size());
-  const kernels::Dispatch& k = kernels::active();
-  k.peel_prefixes(arena.data(), sums_.data(), arena.size());
+  kernel.peel_prefixes(arena.data(), sums_.data(), arena.size());
   obs::count_kernel("kernel.peel_prefixes.calls",
                     "kernel.peel_prefixes.bytes",
                     arena.size() * sizeof(Pos));
@@ -66,18 +70,19 @@ bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
       support_[sums_[i] - base - 1] += r.freq;
   }
 
-  const Count keep_threshold = filter_items ? min_support : 1;
   to_child_.assign(parent_max, 0);
-  frame.item_of.clear();
+  child_items.clear();
   Rank child_ranks = 0;
   for (Rank r = 1; r <= parent_max; ++r) {
     if (support_[r - 1] >= keep_threshold && support_[r - 1] > 0) {
       to_child_[r - 1] = ++child_ranks;
-      frame.item_of.push_back(parent_items[r - 1]);
+      child_items.push_back(parent_items[r - 1]);
     }
   }
-  if (child_ranks == 0) return false;
+  return child_ranks;
+}
 
+void ProjectionEngine::build_frame(Frame& frame, Rank child_ranks) {
   const std::size_t retained = frame.plt.reset(child_ranks);
   stats_.bytes_recycled += retained;
   for (const FlatCondDb::Record& rec : cond_.records()) {
@@ -96,7 +101,218 @@ bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
   ++stats_.projections_built;
   const std::size_t now = frame.plt.memory_usage();
   if (now > retained) stats_.bytes_fresh += now - retained;
+}
+
+bool ProjectionEngine::project_into(Frame& frame, Rank parent_max,
+                                    Count min_support, bool filter_items,
+                                    const std::vector<Item>& parent_items) {
+  PLT_SPAN("projection");
+  const Count keep_threshold = filter_items ? min_support : 1;
+  const Rank child_ranks = peel_and_count(kernels::active(), parent_max,
+                                          keep_threshold, parent_items,
+                                          frame.item_of);
+  if (child_ranks == 0) return false;
+  build_frame(frame, child_ranks);
   return true;
+}
+
+bool ProjectionEngine::probe_single_path(Rank child_ranks) const {
+  // One shared path iff every record keeps all surviving ranks: kept
+  // positions are strictly increasing child ranks, so keeping child_ranks
+  // of them means the record maps to exactly {1..child_ranks}.
+  for (const FlatCondDb::Record& rec : cond_.records()) {
+    const Rank base = rec.offset == 0 ? 0 : sums_[rec.offset - 1];
+    const std::uint32_t end = rec.offset + rec.len;
+    std::uint32_t kept = 0;
+    for (std::uint32_t i = rec.offset; i < end; ++i)
+      kept += to_child_[sums_[i] - base - 1] != 0 ? 1u : 0u;
+    if (kept != child_ranks) return false;
+  }
+  return true;
+}
+
+void ProjectionEngine::expand_path(std::span<const Item> items, Rank upto,
+                                   Count freq, std::vector<Item>& suffix,
+                                   const ItemsetSink& sink) {
+  // Every subset of a single-path conditional database has the same
+  // support (the path's total frequency), so enumeration needs no
+  // structure. The order matches the pooled walk exactly: rank high to
+  // low, each rank emitted before its own conditional subtree.
+  for (Rank jj = upto; jj >= 1; --jj) {
+    if (control_ != nullptr && check_control()) {
+      interrupted_ = true;
+      return;
+    }
+    suffix.push_back(items[jj - 1]);
+    emitted_ = suffix;
+    std::sort(emitted_.begin(), emitted_.end());
+    sink(emitted_, freq);
+    PLT_TRACE_COUNT("itemsets-emitted", 1);
+    if (jj > 1) expand_path(items, jj - 1, freq, suffix, sink);
+    suffix.pop_back();
+    if (interrupted_) return;
+  }
+}
+
+void ProjectionEngine::eclat_mine(Rank child_ranks, Count min_support,
+                                  std::vector<Item>& suffix,
+                                  const ItemsetSink& sink) {
+  // Vertical view of the peeled cond_: per child rank, the sorted list of
+  // record ids containing it (a counting sort over the arena), weighted
+  // by record frequency. Small shallow shapes intersect faster than they
+  // re-project — the planner only routes those here.
+  const std::vector<FlatCondDb::Record>& records = cond_.records();
+  tid_offsets_.assign(child_ranks + 1, 0);
+  for (const FlatCondDb::Record& rec : records) {
+    const Rank base = rec.offset == 0 ? 0 : sums_[rec.offset - 1];
+    const std::uint32_t end = rec.offset + rec.len;
+    for (std::uint32_t i = rec.offset; i < end; ++i) {
+      const Rank c = to_child_[sums_[i] - base - 1];
+      if (c != 0) ++tid_offsets_[c];
+    }
+  }
+  for (Rank c = 1; c <= child_ranks; ++c) tid_offsets_[c] += tid_offsets_[c - 1];
+  tid_cursor_.assign(tid_offsets_.begin(), tid_offsets_.end());
+  tid_arena_.resize(tid_offsets_[child_ranks]);
+  rec_freq_.resize(records.size());
+  for (std::uint32_t t = 0; t < records.size(); ++t) {
+    const FlatCondDb::Record& rec = records[t];
+    rec_freq_[t] = rec.freq;
+    const Rank base = rec.offset == 0 ? 0 : sums_[rec.offset - 1];
+    const std::uint32_t end = rec.offset + rec.len;
+    for (std::uint32_t i = rec.offset; i < end; ++i) {
+      const Rank c = to_child_[sums_[i] - base - 1];
+      if (c != 0) tid_arena_[tid_cursor_[c - 1]++] = t;
+    }
+  }
+  eclat_descend({}, child_ranks, min_support, suffix, sink, 0);
+}
+
+void ProjectionEngine::eclat_descend(std::span<const std::uint32_t> tids,
+                                     Rank below, Count min_support,
+                                     std::vector<Item>& suffix,
+                                     const ItemsetSink& sink,
+                                     std::size_t depth) {
+  // DFS over child ranks high to low — the same visit order as the pooled
+  // walk, and the bucket mass it computes there equals the freq-weighted
+  // tidset cardinality here, so emissions match item for item.
+  for (Rank i = below; i >= 1; --i) {
+    if (control_ != nullptr && check_control()) {
+      interrupted_ = true;
+      return;
+    }
+    const std::span<const std::uint32_t> base{
+        tid_arena_.data() + tid_offsets_[i - 1],
+        static_cast<std::size_t>(tid_offsets_[i] - tid_offsets_[i - 1])};
+    std::span<const std::uint32_t> set;
+    if (tids.data() == nullptr) {
+      set = base;  // root level: the rank's own tidlist
+    } else {
+      if (depth >= eclat_pool_.size()) eclat_pool_.resize(depth + 1);
+      std::vector<std::uint32_t>& out = eclat_pool_[depth];
+      out.resize(std::min(tids.size(), base.size()) + 4);
+      const bool wide = planner_->wide_for(tids.size() + base.size());
+      if (wide) {
+        PLT_TRACE_COUNT("plan.backend.wide", 1);
+        ++stats_.plan_wide;
+      } else {
+        PLT_TRACE_COUNT("plan.backend.narrow", 1);
+        ++stats_.plan_narrow;
+      }
+      const std::size_t n = planner_->dispatch(wide).intersect_sorted(
+          tids.data(), tids.size(), base.data(), base.size(), out.data());
+      obs::count_kernel("kernel.intersect_sorted.calls",
+                        "kernel.intersect_sorted.bytes",
+                        (tids.size() + base.size()) * sizeof(std::uint32_t));
+      set = {out.data(), n};
+    }
+    Count support = 0;
+    for (const std::uint32_t t : set) support += rec_freq_[t];
+    if (support < min_support) continue;
+    suffix.push_back(planned_items_[i - 1]);
+    emitted_ = suffix;
+    std::sort(emitted_.begin(), emitted_.end());
+    sink(emitted_, support);
+    PLT_TRACE_COUNT("itemsets-emitted", 1);
+    if (i > 1)
+      eclat_descend(set, i - 1, min_support, suffix, sink, depth + 1);
+    suffix.pop_back();
+    if (interrupted_) return;
+  }
+}
+
+ProjectionEngine::Frame* ProjectionEngine::planned_project(
+    Rank j, std::size_t depth, Count min_support,
+    const ConditionalOptions& options, const std::vector<Item>& parent_items,
+    std::vector<Item>& suffix, const ItemsetSink& sink) {
+  PLT_SPAN("projection");
+  const Count keep_threshold =
+      options.filter_conditional_items ? min_support : 1;
+  // Backend choice for the peel: tiny arenas take the scalar table, wide
+  // ones the process-active SIMD table. Counters are named by intent
+  // (narrow/wide), not by backend, so adaptive traces stay
+  // backend-invariant like every other exported quantity.
+  const bool wide = planner_->wide_for(cond_.arena().size());
+  if (wide) {
+    PLT_TRACE_COUNT("plan.backend.wide", 1);
+    ++stats_.plan_wide;
+  } else {
+    PLT_TRACE_COUNT("plan.backend.narrow", 1);
+    ++stats_.plan_narrow;
+  }
+  const Rank child_ranks =
+      peel_and_count(planner_->dispatch(wide), j, keep_threshold,
+                     parent_items, planned_items_);
+  if (child_ranks == 0) return nullptr;
+
+  SubtreeShape shape;
+  shape.records = cond_.size();
+  shape.positions = cond_.arena().size();
+  shape.child_ranks = child_ranks;
+  // Depth-0 subtree j of the facade's walk is CD_j, whose partition stats
+  // the planner holds: they can answer the single-path question in O(1)
+  // (all-full suffix) and veto Eclat on dense partitions.
+  const Rank top_rank = depth == 0 ? j : 0;
+  const tdb::PartitionStats* partition =
+      depth == 0 ? planner_->partition(j) : nullptr;
+  bool resolved = false;
+  if (shape.records == 1) {
+    shape.single_path = true;  // one record is trivially one path
+  } else if (planner_->wants_single_path_probe(top_rank, &resolved)) {
+    shape.single_path = probe_single_path(child_ranks);
+  } else {
+    shape.single_path = resolved;
+  }
+
+  switch (planner_->choose_subtree(shape, partition)) {
+    case Planner::Subtree::kSinglePath: {
+      PLT_TRACE_COUNT("plan.subtree.single-path", 1);
+      ++stats_.plan_single_path;
+      Count total = 0;
+      for (const FlatCondDb::Record& rec : cond_.records())
+        total += rec.freq;
+      // total can only miss min_support in the no-filter ablation (the
+      // planner is not attached there), but guard anyway: every subset
+      // shares this support, so an infrequent path emits nothing.
+      if (total >= min_support)
+        expand_path(planned_items_, child_ranks, total, suffix, sink);
+      return nullptr;
+    }
+    case Planner::Subtree::kEclat: {
+      PLT_TRACE_COUNT("plan.subtree.eclat", 1);
+      ++stats_.plan_eclat;
+      eclat_mine(child_ranks, min_support, suffix, sink);
+      return nullptr;
+    }
+    case Planner::Subtree::kPooled:
+      break;
+  }
+  PLT_TRACE_COUNT("plan.subtree.pooled", 1);
+  ++stats_.plan_pooled;
+  Frame& frame = acquire(depth);
+  frame.item_of.assign(planned_items_.begin(), planned_items_.end());
+  build_frame(frame, child_ranks);
+  return &frame;
 }
 
 void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
@@ -162,11 +378,30 @@ void ProjectionEngine::mine(Plt& plt, const std::vector<Item>& item_of,
     PLT_TRACE_COUNT("itemsets-emitted", 1);
 
     if (!cond_.empty()) {
-      Frame& frame = acquire(stack.size() - 1);
-      if (project_into(frame, j, min_support,
-                       options.filter_conditional_items, *top.items)) {
+      Frame* child = nullptr;
+      if (planner_ == nullptr) {
+        Frame& frame = acquire(stack.size() - 1);
+        if (project_into(frame, j, min_support,
+                         options.filter_conditional_items, *top.items))
+          child = &frame;
+      } else {
+        child = planned_project(j, stack.size() - 1, min_support, options,
+                                *top.items, suffix, sink);
+        if (interrupted_) {
+          // A control stop fired inside an in-place strategy. Unwind like
+          // the loop-head check: drop rank j's suffix item, then one per
+          // live child level.
+          suffix.pop_back();
+          while (stack.size() > 1) {
+            stack.pop_back();
+            suffix.pop_back();
+          }
+          return;
+        }
+      }
+      if (child != nullptr) {
         stack.push_back(
-            {&frame.plt, &frame.item_of, frame.plt.max_rank()});
+            {&child->plt, &child->item_of, child->plt.max_rank()});
         continue;  // the suffix item stays pushed while the child mines
       }
     }
@@ -184,6 +419,13 @@ std::size_t ProjectionEngine::memory_usage() const {
            sums_.capacity() * sizeof(Rank) +
            mapped_.capacity() * sizeof(Pos) +
            emitted_.capacity() * sizeof(Item);
+  bytes += planned_items_.capacity() * sizeof(Item) +
+           tid_offsets_.capacity() * sizeof(std::uint32_t) +
+           tid_cursor_.capacity() * sizeof(std::uint32_t) +
+           tid_arena_.capacity() * sizeof(std::uint32_t) +
+           rec_freq_.capacity() * sizeof(Count);
+  for (const std::vector<std::uint32_t>& tids : eclat_pool_)
+    bytes += tids.capacity() * sizeof(std::uint32_t);
   return bytes;
 }
 

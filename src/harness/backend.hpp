@@ -1,12 +1,15 @@
-// Shared --backend flag for every bench/example binary: forwards the name
-// to kernels::select_backend so a whole sweep can be pinned to the scalar
-// reference or a specific SIMD backend. When the flag is absent the
-// PLT_KERNEL_BACKEND environment variable (read at first dispatch) decides.
+// Shared --backend / --plan flags for every bench/example binary: forward
+// the names to kernels::select_backend / core::select_plan so a whole
+// sweep can be pinned to the scalar reference, a specific SIMD backend, or
+// the adaptive execution planner. When a flag is absent the matching
+// environment variable (PLT_KERNEL_BACKEND / PLT_PLAN, read at first use)
+// decides.
 #pragma once
 
 #include <iostream>
 #include <string>
 
+#include "core/planner.hpp"
 #include "kernels/kernels.hpp"
 #include "util/args.hpp"
 
@@ -26,6 +29,23 @@ inline bool apply_backend_flag(const Args& args, bool announce = true) {
   }
   if (announce)
     std::cout << "kernel backend: " << kernels::active().name << "\n";
+  return true;
+}
+
+/// Applies `--plan=fixed|adaptive`. Returns false (after printing a
+/// diagnostic) on unknown names, so callers can `return 2` and a typo'd
+/// flag can't silently bench the wrong execution plan. Same announce
+/// convention as apply_backend_flag.
+inline bool apply_plan_flag(const Args& args, bool announce = true) {
+  const std::string name = args.get("plan", "");
+  if (!core::select_plan(name)) {
+    std::cerr << args.program() << ": unknown --plan \"" << name
+              << "\" (expected fixed or adaptive)\n";
+    return false;
+  }
+  if (announce)
+    std::cout << "execution plan: " << core::plan_name(core::active_plan())
+              << "\n";
   return true;
 }
 

@@ -31,6 +31,7 @@ inline constexpr std::string_view kSpans[] = {
     "mine-rank",
     "ooc-mine",
     "ooc-resume",
+    "plan",
     "projection",
     "rank-loop",
 };
@@ -55,6 +56,15 @@ inline constexpr std::string_view kCounters[] = {
     "kernel.peel_prefixes.bytes",
     "kernel.peel_prefixes.calls",
     "partitions",
+    "plan.backend.narrow",
+    "plan.backend.wide",
+    "plan.root.conditional",
+    "plan.root.eclat",
+    "plan.root.fallback",
+    "plan.root.topdown",
+    "plan.subtree.eclat",
+    "plan.subtree.pooled",
+    "plan.subtree.single-path",
     "ranks",
     "ranks-processed",
     "resumed-ranks",

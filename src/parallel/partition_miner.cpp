@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <exception>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "core/builder.hpp"
@@ -26,7 +28,8 @@ struct alignas(64) ClaimWindow {
 
 core::MineResult mine_parallel_impl(const tdb::Database& db,
                                     Count min_support,
-                                    const ParallelOptions& options) {
+                                    const ParallelOptions& options,
+                                    const core::Planner* planner) {
   core::MineResult result;
   const core::MiningControl* control = options.control;
   const std::uint64_t checks0 = control != nullptr ? control->checks() : 0;
@@ -142,6 +145,12 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
         try {
           core::ProjectionEngine engine;
           engine.set_control(control, result.structure_bytes);
+          // One shared read-only planner: decisions are pure functions of
+          // shape + config, so plans stay thread-count-invariant no matter
+          // which worker claims a rank. No partition stats here — each
+          // engine mines inside CD_j, where engine-local depth 0 is not a
+          // view partition.
+          engine.set_planner(planner);
           std::uint64_t steals = 0;
           const auto stop = [&] {
             return abort.load(std::memory_order_relaxed) ||
@@ -221,11 +230,19 @@ core::MineResult mine_parallel(const tdb::Database& db, Count min_support,
                                const ParallelOptions& options) {
   PLT_ASSERT(min_support >= 1, "min_support must be >= 1");
   PLT_ASSERT(options.threads >= 1, "need at least one thread");
+  if (!core::select_plan(options.plan))
+    throw std::invalid_argument("mine_parallel: unknown plan \"" +
+                                options.plan +
+                                "\" (expected fixed or adaptive)");
+  std::optional<core::Planner> planner;
+  if (core::active_plan() == core::PlanMode::kAdaptive)
+    planner.emplace(options.plan_config);
   obs::AutoSession trace_session;
   core::MineResult result;
   {
     PLT_SPAN("mine-parallel");
-    result = mine_parallel_impl(db, min_support, options);
+    result = mine_parallel_impl(db, min_support, options,
+                                planner ? &*planner : nullptr);
     PLT_TRACE_COUNT("itemsets-total", result.itemsets.size());
   }
   result.trace = trace_session.finish();

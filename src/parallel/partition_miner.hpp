@@ -31,6 +31,13 @@ struct ParallelOptions {
   /// Cooperative cancellation / deadline / budget shared by all workers;
   /// each checks it before claiming a rank. Null = unlimited.
   const core::MiningControl* control = nullptr;
+  /// Execution plan ("", "fixed", "adaptive" — see core::select_plan).
+  /// Adaptive gives every worker engine the same shared planner, so plans
+  /// (and output — byte-identical anyway) stay thread-count-invariant.
+  /// Unknown names throw std::invalid_argument.
+  std::string plan;
+  /// Cost-model thresholds used when the adaptive plan is active.
+  core::PlanConfig plan_config;
 };
 
 /// Mines all frequent itemsets of `db`; result is identical (after

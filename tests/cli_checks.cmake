@@ -18,6 +18,48 @@ if(CHECK STREQUAL "bad-backend")
             "missing/garbled diagnostic for unknown backend; stderr was:\n"
             "${err}")
   endif()
+elseif(CHECK STREQUAL "bad-plan")
+  # An unknown --plan must refuse to run (exit non-zero, usage text), never
+  # silently mine under the wrong execution plan.
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup 2 --plan bogus
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "plt-mine accepted an unknown --plan (exit 0)")
+  endif()
+  if(NOT err MATCHES "unknown --plan")
+    message(FATAL_ERROR
+            "missing/garbled diagnostic for unknown plan; stderr was:\n"
+            "${err}")
+  endif()
+elseif(CHECK STREQUAL "plan-identity")
+  # The planner's whole contract at the CLI: --plan adaptive and the default
+  # fixed plan print byte-identical itemsets.
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup-frac 0.01 --limit 0 --plan fixed
+                  RESULT_VARIABLE fixed_code
+                  OUTPUT_VARIABLE fixed_out
+                  ERROR_VARIABLE fixed_err)
+  if(NOT fixed_code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --plan fixed exited ${fixed_code}:\n"
+            "${fixed_err}")
+  endif()
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup-frac 0.01 --limit 0 --plan adaptive
+                  RESULT_VARIABLE adaptive_code
+                  OUTPUT_VARIABLE adaptive_out
+                  ERROR_VARIABLE adaptive_err)
+  if(NOT adaptive_code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --plan adaptive exited ${adaptive_code}:\n"
+            "${adaptive_err}")
+  endif()
+  if(NOT fixed_out STREQUAL adaptive_out)
+    message(FATAL_ERROR "--plan adaptive changed the mined output:\n"
+            "--- fixed ---\n${fixed_out}"
+            "--- adaptive ---\n${adaptive_out}")
+  endif()
 elseif(CHECK STREQUAL "trace-files")
   # --trace / --trace-folded must produce well-formed exports covering the
   # run. Only registered when the obs layer is compiled in (PLT_OBS=ON).

@@ -49,7 +49,7 @@ int usage(const char* argv0) {
       << "  [--contains \"ITEMS\"]\n"
       << "  [--rules [--minconf C]] [--serialize FILE] [--stats]\n"
       << "  [--output text|csv] [--limit N] [--scale S]\n"
-      << "  [--backend scalar|sse42|avx2|simd|auto]\n"
+      << "  [--backend scalar|sse42|avx2|simd|auto] [--plan fixed|adaptive]\n"
       << "  [--validate] [--trace FILE] [--trace-folded FILE]\n"
       << "datasets: ";
   for (const auto& spec : datagen::dataset_registry())
@@ -90,6 +90,10 @@ void print_itemsets(const core::FrequentItemsets& itemsets,
 int main(int argc, char** argv) {
   const Args args(argc, argv);
   if (!harness::apply_backend_flag(args, /*announce=*/false)) return 2;
+  // An unknown --plan refuses to run with the usage text, mirroring the
+  // --backend contract: never silently mine under the wrong plan.
+  if (!harness::apply_plan_flag(args, /*announce=*/false))
+    return usage(argv[0]);
   // One session around everything the invocation does (mining, queries,
   // serialization); written on every exit path by the destructor.
   harness::TraceScope trace(args);
