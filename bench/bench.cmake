@@ -32,6 +32,12 @@ plt_bench(bench_closed_native)       # E16
 plt_bench(bench_projection_pool)     # E17
 plt_bench(bench_kernels)             # E18
 plt_bench(bench_adaptive)            # E20
+plt_bench(bench_shard)               # E21
+# The shard bench forks real worker processes: it needs the plt-shard
+# binary's path baked in, and the binary built first.
+target_compile_definitions(bench_shard PRIVATE
+  PLT_SHARD_BIN="$<TARGET_FILE:plt-shard>")
+add_dependencies(bench_shard plt-shard)
 
 # Smoke run: every bench binary once at a tiny configuration — a cheap CI
 # guard that the whole bench suite still runs end to end. The subset-check
@@ -48,7 +54,7 @@ set(PLT_BENCH_SMOKE_TARGETS
   bench_parallel_partition bench_rank_ablation bench_condensed
   bench_incremental bench_ooc_mining bench_stream bench_sampling
   bench_filter_ablation bench_candidate_family bench_closed_native
-  bench_projection_pool bench_kernels bench_adaptive)
+  bench_projection_pool bench_kernels bench_adaptive bench_shard)
 set(PLT_BENCH_SMOKE_COMMANDS "")
 foreach(target ${PLT_BENCH_SMOKE_TARGETS})
   set(smoke_scale ${PLT_BENCH_SMOKE_SCALE})

@@ -65,6 +65,15 @@ bool parse_record(std::span<const std::uint8_t> bytes, std::size_t& offset,
 
 }  // namespace
 
+std::uint32_t window_binding_crc(std::uint32_t blob_crc, Rank rank_lo,
+                                 Rank rank_hi, Rank max_rank) {
+  if (rank_lo <= 1 && rank_hi >= max_rank) return blob_crc;
+  std::vector<std::uint8_t> window;
+  put_varint(window, rank_lo);
+  put_varint(window, rank_hi);
+  return crc32c(window, blob_crc);
+}
+
 bool read_checkpoint(const std::string& path, std::uint32_t blob_crc,
                      Count min_support, Rank max_rank, CheckpointLog& out) {
   out.records.clear();

@@ -47,6 +47,14 @@ struct CheckpointLog {
 bool read_checkpoint(const std::string& path, std::uint32_t blob_crc,
                      Count min_support, Rank max_rank, CheckpointLog& out);
 
+/// Binding CRC for a rank-window mine over a shared blob (the shard-worker
+/// unit): the full window keeps the raw blob CRC, so every existing
+/// full-range log stays valid, while a proper sub-window folds
+/// [rank_lo, rank_hi] into the CRC stream — a log written for one window
+/// can never replay into another window of the same blob.
+std::uint32_t window_binding_crc(std::uint32_t blob_crc, Rank rank_lo,
+                                 Rank rank_hi, Rank max_rank);
+
 /// Appends rank records, flushing each one so it survives a process crash.
 class CheckpointWriter {
  public:

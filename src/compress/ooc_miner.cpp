@@ -119,20 +119,34 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
         std::to_string(item_of.size()) + " ranks but the blob declares " +
         std::to_string(index.max_rank));
 
-  // Checkpointing: the log is bound to this exact (blob, min_support) via
-  // the whole-blob CRC; a matching log's completed ranks are replayed, a
-  // mismatched or disabled one starts fresh.
+  // The rank window this call owns: the full range unless the caller (a
+  // shard worker) asked for a slice.
+  const Rank lo = options.rank_lo == 0 ? 1 : options.rank_lo;
+  const Rank hi = options.rank_hi == 0 ? index.max_rank : options.rank_hi;
+  if (lo > hi || hi > index.max_rank)
+    throw std::invalid_argument(
+        "mine_from_blob: invalid rank window [" + std::to_string(lo) + ", " +
+        std::to_string(hi) + "] over max_rank " +
+        std::to_string(index.max_rank));
+  const auto window_size = static_cast<std::size_t>(hi - lo + 1);
+
+  // Checkpointing: the log is bound to this exact (blob, window,
+  // min_support) via the window-folded blob CRC; a matching log's completed
+  // ranks are replayed, a mismatched or disabled one starts fresh. The
+  // log's own rank field is the window top, so contiguity is checked from
+  // rank_hi downward.
   CheckpointLog log;
   std::unique_ptr<CheckpointWriter> writer;
   if (!options.checkpoint_path.empty()) {
-    const std::uint32_t blob_crc = crc32c(blob);
+    const std::uint32_t binding =
+        window_binding_crc(crc32c(blob), lo, hi, index.max_rank);
     const bool have_log =
         options.resume &&
-        read_checkpoint(options.checkpoint_path, blob_crc, min_support,
-                        index.max_rank, log);
-    if (!have_log) log.records.clear();
+        read_checkpoint(options.checkpoint_path, binding, min_support, hi,
+                        log);
+    if (!have_log || log.records.size() > window_size) log.records.clear();
     writer = std::make_unique<CheckpointWriter>(
-        options.checkpoint_path, blob_crc, min_support, index.max_rank,
+        options.checkpoint_path, binding, min_support, hi,
         log.records.empty() ? nullptr : &log);
     if (stats != nullptr)
       stats->checkpoint_records = writer->records_written();
@@ -149,14 +163,16 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
   std::vector<std::pair<core::PosVec, Count>> cond;
   core::PosVec scratch;
 
-  // Rebuild the overlay state the completed ranks left behind by re-running
-  // their streaming pass without emitting: the overlay is a pure function
-  // of (blob, ranks processed), so the resumed walk sees byte-identical
-  // conditional databases.
-  if (completed > 0) {
-    PLT_SPAN("ooc-resume");
-    PLT_TRACE_COUNT("resumed-ranks", completed);
-    for (Rank j = index.max_rank; j > index.max_rank - completed; --j) {
+  // First rank left to mine; lo - 1 when the whole window is durable.
+  const Rank first_mine = hi - completed;
+
+  // Rebuild the overlay state the ranks above first_mine leave behind by
+  // re-running their streaming pass without emitting: the overlay is a pure
+  // function of (blob, ranks processed), so the walk below sees
+  // byte-identical conditional databases whether those ranks were mined by
+  // this process (resume), by another shard (window), or not at all.
+  const auto warm_pass = [&](Rank from, Rank down_to) {
+    for (Rank j = from; j >= down_to; --j) {
       const auto warm = [&](std::span<const Pos> v, Count freq) {
         if (v.size() > 1 && freq > 0) {
           scratch.assign(v.begin(), v.end() - 1);
@@ -168,6 +184,19 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
       PLT_TRACE_COUNT("bytes-decoded", bytes);
       for (const auto& [v, freq] : overlay.bucket(j)) warm(v, freq);
       overlay.drop(j);
+      if (stats != nullptr) ++stats->warmed_ranks;
+    }
+  };
+  if (first_mine >= lo && first_mine < index.max_rank) {
+    if (completed > 0) {
+      PLT_SPAN("ooc-resume");
+      PLT_TRACE_COUNT("resumed-ranks", completed);
+      PLT_TRACE_COUNT("warmed-ranks", index.max_rank - first_mine);
+      warm_pass(index.max_rank, first_mine + 1);
+    } else {
+      PLT_SPAN("ooc-warm");
+      PLT_TRACE_COUNT("warmed-ranks", index.max_rank - first_mine);
+      warm_pass(index.max_rank, first_mine + 1);
     }
   }
 
@@ -184,6 +213,19 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
     planner.emplace(options.plan_config);
     engine.set_planner(&*planner);
   }
+  // Rank-level planning is a separate planner that owns the caller's view
+  // partition stats (the engine above must stay shape-only — its depth-0
+  // is inside CD_j, not a view partition). Only the O(1) resolved witness
+  // is used: partitions at or above rank j all full paths proves that every
+  // vector the walk can feed into CD_j — original members and prefixes
+  // reinserted from higher ranks alike — is the full path over ranks
+  // 1..j-1, so CD_j is exactly single-path without scanning it.
+  std::optional<core::Planner> rank_planner;
+  if (core::active_plan() == core::PlanMode::kAdaptive &&
+      !options.partition_stats.empty()) {
+    rank_planner.emplace(options.plan_config);
+    rank_planner->set_partition_stats(options.partition_stats);
+  }
 
   CheckpointRecord record;
   // All emissions of the current rank flow through this wrapper so the
@@ -196,7 +238,7 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
                                    support);
   };
 
-  for (Rank j = index.max_rank - completed; j >= 1; --j) {
+  for (Rank j = first_mine; j >= lo && j >= 1; --j) {
     if (control != nullptr &&
         control->should_stop(overlay.live_bytes() + engine.memory_usage()))
       return finish(control->status());
@@ -231,7 +273,28 @@ core::MineStatus mine_from_blob_impl(std::span<const std::uint8_t> blob,
         std::sort(emitted.begin(), emitted.end());
         rank_sink(emitted, support);
       }
-      if (!cond.empty()) {
+      bool resolved_single_path = false;
+      if (!cond.empty() && rank_planner &&
+          rank_planner->wants_single_path_probe(j, &resolved_single_path) &&
+          resolved_single_path) {
+        // Witnessed single-path subtree: every conditional vector is the
+        // full path over ranks 1..j-1, so every subset shares one support
+        // (the path's total frequency) and the whole subtree expands
+        // without building a conditional PLT. The expansion order is the
+        // pooled walk's own order, so emissions — and therefore checkpoint
+        // records — stay byte-identical to the fixed plan.
+        Count total = 0;
+        for (const auto& [v, freq] : cond) total += freq;
+        if (total >= min_support) {
+          PLT_TRACE_COUNT("plan.rank.single-path", 1);
+          const std::vector<Item> path_items(item_of.begin(),
+                                             item_of.begin() + (j - 1));
+          engine.set_control(control, overlay.live_bytes());
+          engine.expand_single_path(path_items, static_cast<Rank>(j - 1),
+                                    total, suffix, rank_sink);
+          if (engine.interrupted()) return finish(control->status());
+        }
+      } else if (!cond.empty()) {
         core::ConditionalProjection child = core::make_conditional_plt(
             cond, j, min_support, cond_options.filter_conditional_items);
         // Under PLT_VALIDATE each conditional projection — including the

@@ -21,6 +21,7 @@
 #include "core/itemset_collector.hpp"
 #include "core/planner.hpp"
 #include "obs/trace.hpp"
+#include "tdb/stats.hpp"
 
 namespace plt::compress {
 
@@ -29,6 +30,9 @@ struct OocStats {
   std::size_t peak_overlay_bytes = 0; ///< in-memory prefix overlay footprint
   std::uint64_t checkpoint_records = 0;  ///< rank records written this run
   std::uint64_t resumed_ranks = 0;   ///< ranks replayed from a checkpoint
+  /// Ranks streamed without emitting (window warm-up above rank_hi plus the
+  /// re-streamed prefix of a resumed run).
+  std::uint64_t warmed_ranks = 0;
   core::ResilienceStats resilience;  ///< control/failpoint/CRC activity
   /// Aggregated span tree of this run when tracing was enabled and no outer
   /// session owned the walk (same contract as MineResult::trace); null
@@ -55,6 +59,28 @@ struct OocOptions {
   std::string plan;
   /// Cost-model thresholds used when the adaptive plan is active.
   core::PlanConfig plan_config;
+  /// Rank window to mine, inclusive (0 = unbounded end: the full range
+  /// [1, max_rank]). This is the shard-worker unit: rank partitions are
+  /// independent by construction (Def 4.1.3), so a worker that streams the
+  /// ranks above rank_hi *without emitting* (the same warm pass a resume
+  /// performs — the overlay is a pure function of (blob, ranks processed))
+  /// and then mines rank_hi..rank_lo emits exactly the window's slice of
+  /// the full-range emission sequence. The checkpoint binding folds a
+  /// proper sub-window into the blob CRC (see window_binding_crc), so logs
+  /// from different windows never cross-replay. Throws
+  /// std::invalid_argument when the window is empty or exceeds max_rank.
+  Rank rank_lo = 0;
+  Rank rank_hi = 0;
+  /// Per-partition stats of the ranked view the blob was built from (entry
+  /// j-1 describes partition j, as compute_all_partition_stats returns).
+  /// Optional; consulted only under the adaptive plan, by a rank-level
+  /// planner that owns these *view* stats — the projection engine itself
+  /// stays shape-only, because its depth-0 subtrees live inside one rank's
+  /// conditional database and must not be mistaken for view partitions.
+  /// The win is the O(1) single-path witness: when every partition at or
+  /// above a streamed rank is all full paths, that rank's whole subtree
+  /// expands without building a conditional PLT.
+  std::vector<tdb::PartitionStats> partition_stats;
 };
 
 /// Mines every frequent itemset of the PLT serialized in `blob` at

@@ -133,6 +133,17 @@ class ProjectionEngine {
   /// mine; one const planner may be shared across worker engines.
   void set_planner(const Planner* planner) { planner_ = planner; }
 
+  /// Public entry for a subtree proven single-path by an external witness
+  /// (the OOC walk's rank-level planner): emits every subset of
+  /// items[0..upto) at constant support `freq`, byte-identical — content
+  /// and order — to mine() over the equivalent one-path conditional PLT.
+  /// Honors the attached control (check interrupted() afterwards).
+  void expand_single_path(std::span<const Item> items, Rank upto, Count freq,
+                          std::vector<Item>& suffix, const ItemsetSink& sink) {
+    interrupted_ = false;
+    expand_path(items, upto, freq, suffix, sink);
+  }
+
   /// Heap bytes currently held by the pooled frames and scratch buffers.
   std::size_t memory_usage() const;
 

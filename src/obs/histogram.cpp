@@ -1,0 +1,85 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace plt::obs {
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < 2) return 0;
+  return static_cast<std::size_t>(std::bit_width(ns)) - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_floor_ns(std::size_t i) {
+  if (i == 0) return 0;
+  return std::uint64_t{1} << i;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  ++buckets_[bucket_index(ns)];
+  ++count_;
+  sum_ns_ += ns;
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  if (seconds <= 0.0) {
+    record(0);
+    return;
+  }
+  const double ns = seconds * 1e9;
+  if (ns >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) {
+    record(std::numeric_limits<std::uint64_t>::max());
+    return;
+  }
+  record(static_cast<std::uint64_t>(ns));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+std::uint64_t LatencyHistogram::bucket(std::size_t i) const {
+  return i < kBuckets ? buckets_[i] : 0;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target observation, 1-based; ceil so p = 0.5 of two
+  // observations selects the first.
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      if (i + 1 >= kBuckets) return std::numeric_limits<std::uint64_t>::max();
+      return (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+std::string LatencyHistogram::to_json() const {
+  std::ostringstream out;
+  out << "{\"count\":" << count_ << ",\"sum_ns\":" << sum_ns_
+      << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"floor_ns\":" << bucket_floor_ns(i)
+        << ",\"count\":" << buckets_[i] << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace plt::obs

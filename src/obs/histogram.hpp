@@ -1,0 +1,61 @@
+// Latency histogram with fixed log-spaced buckets — the distribution
+// counterpart of the monotonic counters in trace.hpp. Bucket boundaries are
+// powers of two nanoseconds fixed at compile time, so two histograms
+// recorded anywhere (different threads, different worker processes,
+// different machines) merge deterministically by per-bucket addition:
+// merge order cannot change the result, which is the same invariance rule
+// the span trees follow (S23). Used for the per-shard wall-time
+// distribution in bench_shard (E21) and the parallel miner's per-rank
+// latencies; it also pre-stages the plt-serve SLO dashboards (ROADMAP
+// item 2), where log-spaced buckets are the standard wire shape.
+//
+// Not wired into the PLT_SPAN macros: durations are non-deterministic, so
+// histograms live in stats structs (ParallelResult, ShardReport, bench
+// JSON), never in golden traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace plt::obs {
+
+class LatencyHistogram {
+ public:
+  /// bucket 0 holds [0, 2) ns; bucket i >= 1 holds [2^i, 2^(i+1)) ns.
+  /// 64 buckets cover every representable uint64 nanosecond value.
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index a value lands in (floor(log2(ns)), clamped to bucket 0).
+  static std::size_t bucket_index(std::uint64_t ns);
+  /// Smallest value of bucket `i`.
+  static std::uint64_t bucket_floor_ns(std::size_t i);
+
+  void record(std::uint64_t ns);
+  /// Convenience for wall-clock seconds (negative clamps to zero).
+  void record_seconds(double seconds);
+
+  /// Per-bucket addition: associative, commutative, order-free — merging
+  /// N worker histograms gives one deterministic result.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum_ns() const { return sum_ns_; }
+  std::uint64_t bucket(std::size_t i) const;
+
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]); 0 when
+  /// the histogram is empty. Quantiles from log buckets are bounds, not
+  /// exact order statistics — good enough for SLO-style reporting.
+  std::uint64_t percentile_ns(double p) const;
+
+  /// One-line JSON: {"count":N,"sum_ns":S,"buckets":[{"floor_ns":F,
+  /// "count":C},...]} with only the occupied buckets listed, in ascending
+  /// floor order — byte-stable for identical contents.
+  std::string to_json() const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+};
+
+}  // namespace plt::obs

@@ -31,9 +31,15 @@ inline constexpr std::string_view kSpans[] = {
     "mine-rank",
     "ooc-mine",
     "ooc-resume",
+    "ooc-warm",
     "plan",
     "projection",
     "rank-loop",
+    "shard-launch",
+    "shard-merge",
+    "shard-mine",
+    "shard-split",
+    "shard-wait",
 };
 
 /// Monotonic counters (PLT_TRACE_COUNT and obs::count_kernel sites). The
@@ -58,6 +64,7 @@ inline constexpr std::string_view kCounters[] = {
     "partitions",
     "plan.backend.narrow",
     "plan.backend.wide",
+    "plan.rank.single-path",
     "plan.root.conditional",
     "plan.root.eclat",
     "plan.root.fallback",
@@ -68,6 +75,11 @@ inline constexpr std::string_view kCounters[] = {
     "ranks",
     "ranks-processed",
     "resumed-ranks",
+    "shard.attempts",
+    "shard.bytes-decoded",
+    "shard.itemsets",
+    "shard.relaunches",
+    "shard.workers",
     "status.budget-exceeded",
     "status.cancelled",
     "status.completed",
@@ -75,6 +87,7 @@ inline constexpr std::string_view kCounters[] = {
     "status.unknown",
     "transactions",
     "vectors-inserted",
+    "warmed-ranks",
 };
 
 constexpr bool is_registered_span_name(std::string_view name) {

@@ -110,12 +110,20 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
     windows[w].end = std::min<std::size_t>(begin + per_worker, max_rank);
   }
 
-  const auto mine_rank = [&](std::size_t idx,
-                             core::ProjectionEngine& engine) {
+  // Per-worker latency histograms (merged after the join): recording is
+  // thread-local, and bucket addition makes the merged shape independent of
+  // which worker claimed which rank.
+  std::vector<obs::LatencyHistogram> worker_latency(
+      options.rank_latency != nullptr ? options.threads : 0);
+
+  const auto mine_rank = [&](std::size_t idx, core::ProjectionEngine& engine,
+                             obs::LatencyHistogram* latency) {
     // Exactly one "mine-rank" span per rank index, whichever worker claims
     // it — the merged span count equals max_rank for every thread count.
     PLT_SPAN("mine-rank");
     PLT_FAILPOINT("parallel.mine_rank");
+    std::optional<Timer> timer;
+    if (latency != nullptr) timer.emplace();
     const Rank j = static_cast<Rank>(idx + 1);
     const auto sink = core::collect_into(per_rank[idx]);
     // The 1-itemset {j} is frequent by construction of the view.
@@ -129,6 +137,7 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
       engine.mine(cd, item_of, suffix, min_support, sink,
                   options.conditional);
     }
+    if (latency != nullptr) latency->record_seconds(timer->seconds());
   };
 
   std::vector<core::ProjectionStats> worker_stats(workers);
@@ -151,6 +160,8 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
           // engine mines inside CD_j, where engine-local depth 0 is not a
           // view partition.
           engine.set_planner(planner);
+          obs::LatencyHistogram* latency =
+              worker_latency.empty() ? nullptr : &worker_latency[w];
           std::uint64_t steals = 0;
           const auto stop = [&] {
             return abort.load(std::memory_order_relaxed) ||
@@ -163,7 +174,7 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
             const std::size_t idx =
                 own.next.fetch_add(1, std::memory_order_relaxed);
             if (idx >= own.end) break;
-            mine_rank(idx, engine);
+            mine_rank(idx, engine, latency);
           }
           // Then steal chunks from whichever peer has the most left.
           for (;;) {
@@ -190,7 +201,7 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
             const std::size_t hi = std::min(vw.end, got + steal_chunk);
             for (std::size_t idx = got; idx < hi; ++idx) {
               if (stop()) break;
-              mine_rank(idx, engine);
+              mine_rank(idx, engine, latency);
             }
           }
           worker_stats[w] = engine.stats();
@@ -219,6 +230,9 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
   // Steals are scheduling noise, not work: they stay in ProjectionStats and
   // out of the trace so the merged tree is identical at any thread count.
   for (const auto& stats : worker_stats) result.projection.merge(stats);
+  if (options.rank_latency != nullptr)
+    for (const auto& latency : worker_latency)
+      options.rank_latency->merge(latency);
   result.mine_seconds = mine_timer.seconds();
   finish();
   return result;

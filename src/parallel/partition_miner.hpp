@@ -18,6 +18,7 @@
 
 #include "core/conditional.hpp"
 #include "core/miner.hpp"
+#include "obs/histogram.hpp"
 
 namespace plt::parallel {
 
@@ -38,6 +39,12 @@ struct ParallelOptions {
   std::string plan;
   /// Cost-model thresholds used when the adaptive plan is active.
   core::PlanConfig plan_config;
+  /// Optional per-rank mine-latency distribution (one record per rank
+  /// task, whichever worker ran it). Per-worker histograms merge by bucket
+  /// addition, so the merged distribution is thread-count-invariant in
+  /// shape — only the durations themselves vary run to run. Null skips the
+  /// clock reads entirely.
+  obs::LatencyHistogram* rank_latency = nullptr;
 };
 
 /// Mines all frequent itemsets of `db`; result is identical (after

@@ -1,0 +1,22 @@
+// The shard worker: one process, one rank window. It is deliberately thin —
+// read the job manifest and blob, verify the blob against the manifest CRC,
+// and run the existing OOC miner over the window with checkpointing and
+// resume on. Everything durable the worker produces goes through
+// crash-safe channels: emissions land in the rank-granular checkpoint log
+// (appended and flushed per rank — this IS the result the coordinator
+// merges), and the summary is written atomically last, so its presence
+// certifies the shard completed. A worker killed at any instant loses at
+// most its in-flight rank; the relaunched worker resumes from the log.
+#pragma once
+
+#include <string>
+
+namespace plt::shard {
+
+/// Mines shard `shard_id` of the job in `dir` (see spec.hpp for the
+/// directory layout). Returns a process exit code: 0 on success, non-zero
+/// after printing the error to stderr — never throws, so a launcher can
+/// treat any failure uniformly as "relaunch or give up".
+int run_worker(const std::string& dir, std::size_t shard_id);
+
+}  // namespace plt::shard

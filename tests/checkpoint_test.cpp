@@ -7,14 +7,17 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "compress/checkpoint.hpp"
 #include "compress/codec.hpp"
 #include "compress/ooc_miner.hpp"
 #include "compress/varint.hpp"
 #include "core/builder.hpp"
 #include "datagen/quest.hpp"
+#include "util/crc32c.hpp"
 #include "util/failpoint.hpp"
 
 namespace plt::compress {
@@ -213,6 +216,125 @@ TEST_F(Checkpoint, CompletedRunWritesOneRecordPerRank) {
   const auto index = build_index(w.blob);
   EXPECT_EQ(stats.checkpoint_records, index.max_rank);
   EXPECT_EQ(stats.resilience.checkpoint_records, index.max_rank);
+  std::remove(path.c_str());
+}
+
+// ---- rank windows (the shard-worker unit) -------------------------------
+
+TEST_F(Checkpoint, WindowedMiningTilesTheFullRange) {
+  // Rank partitions are independent (Def 4.1.3): mining the high window and
+  // then the low window of the same blob must concatenate to exactly the
+  // full-range emission sequence. The low window's warm pass streams every
+  // rank above its rank_hi without emitting, and reports them as warmed.
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  const Rank max_rank = static_cast<Rank>(build_index(w.blob).max_rank);
+  ASSERT_GT(max_rank, 2u);
+  const Rank split = max_rank / 2;
+
+  OocOptions high;
+  high.rank_lo = split + 1;
+  high.rank_hi = max_rank;
+  OocStats high_stats;
+  Emissions combined = mine_collecting(w, 3, high, &high_stats);
+  EXPECT_EQ(high_stats.warmed_ranks, 0u);
+
+  OocOptions low;
+  low.rank_lo = 1;
+  low.rank_hi = split;
+  OocStats low_stats;
+  const Emissions low_part = mine_collecting(w, 3, low, &low_stats);
+  EXPECT_EQ(low_stats.warmed_ranks,
+            static_cast<std::uint64_t>(max_rank - split));
+
+  combined.insert(combined.end(), low_part.begin(), low_part.end());
+  EXPECT_EQ(combined, reference);
+}
+
+TEST_F(Checkpoint, WindowRejectsInvalidBounds) {
+  const auto w = sample_workload();
+  const Rank max_rank = static_cast<Rank>(build_index(w.blob).max_rank);
+
+  OocOptions empty;
+  empty.rank_lo = 3;
+  empty.rank_hi = 2;
+  EXPECT_THROW((void)mine_collecting(w, 3, empty), std::invalid_argument);
+
+  OocOptions beyond;
+  beyond.rank_lo = 1;
+  beyond.rank_hi = max_rank + 1;
+  EXPECT_THROW((void)mine_collecting(w, 3, beyond), std::invalid_argument);
+}
+
+TEST_F(Checkpoint, WindowLogsDoNotCrossReplay) {
+  // A log written for one window must never replay into another window of
+  // the same blob at the same support: the binding CRC folds the window in.
+  const auto w = sample_workload();
+  const Rank max_rank = static_cast<Rank>(build_index(w.blob).max_rank);
+  ASSERT_GT(max_rank, 4u);
+  const Rank split = max_rank / 2;
+  const std::string path = temp_path("cross_window.pltk");
+
+  {
+    // Crash partway through the high window, leaving a valid windowed log.
+    FailpointRegistry::Spec spec;
+    spec.mode = FailpointRegistry::Mode::kOneShot;
+    spec.n = 3;
+    FailpointRegistry::instance().arm("ooc.rank", spec);
+    OocOptions high;
+    high.checkpoint_path = path;
+    high.rank_lo = split + 1;
+    high.rank_hi = max_rank;
+    EXPECT_THROW((void)mine_collecting(w, 3, high), InjectedFault);
+    FailpointRegistry::instance().disarm("ooc.rank");
+  }
+
+  OocOptions low;
+  low.checkpoint_path = path;
+  low.rank_lo = 1;
+  low.rank_hi = split;
+  OocStats stats;
+  const Emissions mined = mine_collecting(w, 3, low, &stats);
+  EXPECT_EQ(stats.resumed_ranks, 0u);
+
+  OocOptions low_clean;
+  low_clean.rank_lo = 1;
+  low_clean.rank_hi = split;
+  EXPECT_EQ(mined, mine_collecting(w, 3, low_clean));
+  std::remove(path.c_str());
+}
+
+TEST_F(Checkpoint, WindowBindingCrcContract) {
+  // Full range keeps the raw blob CRC (existing full-range logs stay
+  // valid); every proper sub-window derives a distinct binding.
+  const std::uint32_t blob_crc = 0xDEADBEEF;
+  const Rank max_rank = 10;
+  EXPECT_EQ(window_binding_crc(blob_crc, 1, max_rank, max_rank), blob_crc);
+
+  const std::uint32_t low = window_binding_crc(blob_crc, 1, 5, max_rank);
+  const std::uint32_t high = window_binding_crc(blob_crc, 6, 10, max_rank);
+  EXPECT_NE(low, blob_crc);
+  EXPECT_NE(high, blob_crc);
+  EXPECT_NE(low, high);
+}
+
+TEST_F(Checkpoint, HeaderOnlyLogResumesZeroRanks) {
+  // A worker can die after opening its log but before completing any rank.
+  // The resumed run must see a valid header, replay nothing, and still
+  // produce byte-identical output with one record per rank.
+  const auto w = sample_workload();
+  const Emissions reference = mine_collecting(w, 3);
+  const Rank max_rank = static_cast<Rank>(build_index(w.blob).max_rank);
+  const std::string path = temp_path("header_only.pltk");
+  { CheckpointWriter writer(path, crc32c(w.blob), 3, max_rank); }
+
+  OocOptions options;
+  options.checkpoint_path = path;
+  OocStats stats;
+  const Emissions resumed = mine_collecting(w, 3, options, &stats);
+  EXPECT_EQ(resumed, reference);
+  EXPECT_EQ(stats.resumed_ranks, 0u);
+  EXPECT_EQ(stats.checkpoint_records, max_rank);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,34 @@
+// assert-untrusted-index fixture for the shard layer: manifest/summary
+// decoders consume bytes written by another process (or another machine),
+// so subscripting without a PLT_ASSERT / throw is the bug — same contract
+// the compress/ and tdb/ decoders carry.
+#include <cstddef>
+#include <stdexcept>
+
+#define PLT_ASSERT(cond, msg) ((void)0)
+
+namespace fixture {
+
+// EXPECT(assert-untrusted-index)
+unsigned decode_summary(const unsigned char* bytes, std::size_t n) {
+  unsigned shard_id = bytes[0];
+  unsigned rank_lo = bytes[1];
+  return shard_id + rank_lo + static_cast<unsigned>(n);
+}
+
+unsigned decode_manifest(const unsigned char* bytes, std::size_t n) {
+  if (n < 8) throw std::runtime_error("manifest truncated");
+  return bytes[4] | bytes[7];
+}
+
+unsigned read_window(const unsigned char* bytes, std::size_t n) {
+  PLT_ASSERT(n >= 2, "need rank_lo and rank_hi");
+  return bytes[0] | bytes[1];
+}
+
+// Not a decode/read/parse name: free to subscript.
+unsigned merge_counts(const unsigned* counts, std::size_t i) {
+  return counts[i];
+}
+
+}  // namespace fixture

@@ -87,6 +87,9 @@ TEST(LintGolden, ControlCoverage) {
 TEST(LintGolden, AssertUntrustedIndex) {
   expect_golden("src/compress/unguarded_decode.cpp");
 }
+TEST(LintGolden, AssertUntrustedIndexShard) {
+  expect_golden("src/shard/unguarded_summary.cpp");
+}
 TEST(LintGolden, SpanRegistry) {
   expect_golden("src/core/unregistered_span.cpp");
 }

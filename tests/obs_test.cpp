@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "datagen/dense.hpp"
 #include "datagen/quest.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "parallel/partition_miner.hpp"
 #include "test_support.hpp"
@@ -456,6 +459,100 @@ TEST_F(ObsTest, OocCrashAndResumeTracesAreWellFormed) {
   ASSERT_NE(checkpoint, nullptr);
   EXPECT_EQ(checkpoint->count, stats.trace->counter_total("ranks"));
   std::remove(path.c_str());
+}
+
+// ---- latency histogram ---------------------------------------------------
+// Independent of the runtime tracing switch: histograms live in stats
+// structs (ParallelResult, ShardReport, bench JSON), never in golden
+// traces, so they must work with tracing disabled too.
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index((std::uint64_t{1} << 20) - 1),
+            19u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(std::uint64_t{1} << 20), 20u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(
+                std::numeric_limits<std::uint64_t>::max()),
+            63u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(1), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_floor_ns(20), std::uint64_t{1} << 20);
+}
+
+TEST(LatencyHistogramTest, RecordsCountSumAndPercentileBounds) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.5), 0u);  // empty
+  h.record(1);
+  h.record(10);
+  h.record(100);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_ns(), 1111u);
+  EXPECT_EQ(h.bucket(LatencyHistogram::bucket_index(10)), 1u);
+  // Quantiles are bucket upper bounds, not exact order statistics.
+  EXPECT_EQ(h.percentile_ns(0.0), 1u);     // bucket [0,2)
+  EXPECT_EQ(h.percentile_ns(1.0), 1023u);  // bucket [512,1024)
+  EXPECT_GE(h.percentile_ns(0.5), 10u);
+  EXPECT_LE(h.percentile_ns(0.5), 15u);  // bucket [8,16)
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets), 0u);  // out of range
+}
+
+TEST(LatencyHistogramTest, MergeIsOrderFree) {
+  LatencyHistogram a;
+  a.record(5);
+  a.record(500);
+  LatencyHistogram b;
+  b.record(7);
+  b.record(70000);
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), 4u);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
+TEST(LatencyHistogramTest, RecordSecondsClampsAndScales) {
+  LatencyHistogram h;
+  h.record_seconds(-1.0);   // clamps to 0 ns
+  h.record_seconds(1e-9);   // 1 ns: still bucket 0
+  h.record_seconds(2e-9);   // 2 ns: bucket 1
+  h.record_seconds(1e300);  // saturates at the top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets - 1), 1u);
+}
+
+TEST(LatencyHistogramTest, JsonListsOnlyOccupiedBucketsByteStably) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.to_json(), "{\"count\":0,\"sum_ns\":0,\"buckets\":[]}");
+
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(16);
+  EXPECT_EQ(h.to_json(),
+            "{\"count\":3,\"sum_ns\":17,\"buckets\":["
+            "{\"floor_ns\":0,\"count\":2},{\"floor_ns\":16,\"count\":1}]}");
+}
+
+TEST(LatencyHistogramTest, ParallelMinerRecordsOneLatencyPerRank) {
+  LatencyHistogram latency;
+  parallel::ParallelOptions options;
+  options.threads = 3;
+  options.rank_latency = &latency;
+  const auto result =
+      parallel::mine_parallel(plt::testing::paper_table1(), 2, options);
+  EXPECT_EQ(result.itemsets.size(), 13u);
+  // One observation per mined rank (Table 1 keeps 4 ranks at minsup 2),
+  // merged deterministically from the per-worker histograms.
+  EXPECT_EQ(latency.count(), 4u);
 }
 
 }  // namespace

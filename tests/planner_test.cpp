@@ -111,6 +111,29 @@ TEST(PartitionStats, AllIdenticalTransactions) {
   EXPECT_DOUBLE_EQ(s.support_gini, 0.0);
 }
 
+// Max-rank boundaries: the top partition of compute_all_partition_stats
+// absorbs exactly the transactions whose highest rank IS max_rank;
+// transactions topping out above the requested range are skipped, not
+// misfiled into the top partition, and directly probing a partition above
+// every present rank yields the zeroed "no members" shape.
+TEST(PartitionStats, MaxRankBoundary) {
+  const auto db = tdb::Database::from_transactions(
+      {{1, 2, 3, 4}, {2, 4}, {1, 2}, {1, 6}});
+  const auto all = tdb::compute_all_partition_stats(db, 4);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[3].rank, 4u);
+  EXPECT_EQ(all[3].transactions, 2u);  // {1,2,3,4}, {2,4}; {1,6} tops at 6
+  EXPECT_EQ(all[3].prefix_items, 4u);  // prefixes {1,2,3} and {2}
+  EXPECT_EQ(all[1].transactions, 1u);  // {1,2}
+  EXPECT_EQ(all[0].transactions, 0u);
+
+  const auto s = tdb::compute_partition_stats(db, 5);
+  EXPECT_EQ(s.rank, 5u);
+  EXPECT_EQ(s.transactions, 0u);
+  EXPECT_EQ(s.prefix_items, 0u);
+  EXPECT_DOUBLE_EQ(s.density, 0.0);
+}
+
 // -- cost-model branches, each forced through the config -----------------
 
 TEST(Planner, SubtreeSinglePathWinsWhenAllowed) {

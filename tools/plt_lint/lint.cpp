@@ -808,13 +808,15 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   const bool needs_stream =
       (rule_enabled(config, "control-coverage") && in_src) ||
       (rule_enabled(config, "assert-untrusted-index") &&
-       (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/")));
+       (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/") ||
+        under(rel_path, "src/shard/")));
   if (needs_stream) {
     const Chars chars = flatten(text);
     if (rule_enabled(config, "control-coverage") && in_src)
       check_control_coverage(chars, text, suppressions, rel_path, out);
     if (rule_enabled(config, "assert-untrusted-index") &&
-        (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/")))
+        (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/") ||
+        under(rel_path, "src/shard/")))
       check_assert_untrusted_index(chars, text, suppressions, rel_path, out);
   }
   if (rule_enabled(config, "span-registry") && in_src && !registry_file)
