@@ -1,0 +1,220 @@
+// E22 — closed-loop serving benchmark over the plt-serve daemon. An
+// in-process server mmaps one PLT2 blob of the scaled dense dataset; N
+// client threads issue one request class at a time in a closed loop (next
+// request only after the previous response), so reported throughput is
+// the sustainable rate at that concurrency, not an open-loop burst. Each
+// thread records per-request wall time into an obs::LatencyHistogram;
+// the merged distribution's p50/p99/p999 (log2-bucket upper bounds, see
+// obs/histogram.hpp) and the throughput per request class go to
+// BENCH_serve.json (--out FILE).
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "core/builder.hpp"
+#include "harness/datasets.hpp"
+#include "harness/report.hpp"
+#include "obs/histogram.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace plt;
+
+struct ClassResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double seconds = 0.0;
+  obs::LatencyHistogram latency;
+
+  double throughput_rps() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// A deterministic pool of requests for one class over ranks 1..max_rank.
+std::vector<serve::Request> make_pool(serve::Opcode opcode, Rank max_rank,
+                                      std::size_t size) {
+  std::mt19937 rng(42u + static_cast<unsigned>(opcode));
+  std::uniform_int_distribution<Rank> pick_rank(1, std::max<Rank>(max_rank, 1));
+  std::uniform_int_distribution<int> pick_len(1, 3);
+  std::vector<serve::Request> pool;
+  pool.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    serve::Request request;
+    request.opcode = opcode;
+    if (opcode == serve::Opcode::kTopK) {
+      request.k = 10;
+    } else if (opcode != serve::Opcode::kPing) {
+      std::vector<Rank> ranks;
+      const int len = opcode == serve::Opcode::kRule ? 1 : pick_len(rng);
+      while (ranks.size() < static_cast<std::size_t>(len)) {
+        const Rank rank = pick_rank(rng);
+        if (std::find(ranks.begin(), ranks.end(), rank) == ranks.end())
+          ranks.push_back(rank);
+      }
+      std::sort(ranks.begin(), ranks.end());
+      request.ranks = std::move(ranks);
+      if (opcode == serve::Opcode::kRule) {
+        Rank consequent = pick_rank(rng);
+        while (consequent == request.ranks.front())
+          consequent = pick_rank(rng);
+        request.consequent = consequent;
+      }
+    }
+    pool.push_back(std::move(request));
+  }
+  return pool;
+}
+
+/// Closed loop: `threads` clients split `total` requests; each waits for
+/// its response before sending the next.
+ClassResult run_class(std::uint16_t port, const std::string& name,
+                      const std::vector<serve::Request>& pool,
+                      std::size_t total, unsigned threads) {
+  ClassResult result;
+  result.name = name;
+  result.requests = total;
+  std::vector<obs::LatencyHistogram> latencies(threads);
+  std::vector<std::size_t> errors(threads, 0);
+  Timer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      serve::QueryClient client(port);
+      std::uint32_t next_id = 1;
+      for (std::size_t i = t; i < total; i += threads) {
+        serve::Request request = pool[i % pool.size()];
+        request.request_id = next_id++;
+        Timer per_request;
+        const auto response = client.call(request);
+        latencies[t].record_seconds(per_request.seconds());
+        if (!response.has_value() || response->status != serve::Status::kOk)
+          ++errors[t];
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  result.seconds = wall.seconds();
+  for (unsigned t = 0; t < threads; ++t) {
+    result.latency.merge(latencies[t]);
+    result.errors += errors[t];
+  }
+  return result;
+}
+
+void write_json(const std::string& path, double scale, Count minsup,
+                unsigned client_threads, unsigned server_threads,
+                std::size_t blob_bytes, const std::vector<ClassResult>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"E22\",\n"
+      << "  \"title\": \"closed-loop serving over mmap'd PLT2 blobs\",\n"
+      << "  \"dataset\": \"short-dense\",\n"
+      << "  \"scale\": " << scale << ",\n"
+      << "  \"minsup\": " << minsup << ",\n"
+      << "  \"client_threads\": " << client_threads << ",\n"
+      << "  \"server_threads\": " << server_threads << ",\n"
+      << "  \"blob_bytes\": " << blob_bytes << ",\n"
+      << "  \"classes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ClassResult& r = rows[i];
+    out << "    {\"class\": \"" << r.name << "\""
+        << ", \"requests\": " << r.requests << ", \"errors\": " << r.errors
+        << ", \"seconds\": " << r.seconds
+        << ", \"throughput_rps\": " << r.throughput_rps()
+        << ", \"p50_ns\": " << r.latency.percentile(0.50)
+        << ", \"p99_ns\": " << r.latency.percentile(0.99)
+        << ", \"p999_ns\": " << r.latency.percentile(0.999)
+        << ", \"latency\": " << r.latency.to_json() << "}"
+        << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace plt;
+  const Args args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto client_threads =
+      static_cast<unsigned>(args.get_int("clients", 4));
+  const auto server_threads =
+      static_cast<unsigned>(args.get_int("server-threads", 2));
+  const auto requests = static_cast<std::size_t>(std::max(
+      200.0, args.get_double("requests", 5000) * scale));
+
+  harness::print_banner(std::cout, "E22",
+                        "closed-loop serving over mmap'd PLT2 blobs",
+                        "Lemma 4.1.1 (sum buckets as the serving index)");
+
+  const auto db = harness::scaled_dataset("short-dense", scale);
+  const Count minsup = harness::absolute_support(db, 0.05);
+  const auto built = core::build_from_database(db, minsup);
+  const Rank max_rank = built.view.alphabet();
+  const std::vector<std::uint8_t> blob = compress::encode_plt(built.plt);
+  const std::string blob_path =
+      (std::filesystem::temp_directory_path() / "bench_serve.plt").string();
+  compress::write_blob_file(blob, blob_path);
+
+  serve::ServerOptions options;
+  options.blob_paths = {blob_path};
+  options.threads = server_threads;
+  serve::Server server(std::move(options));
+  server.start();
+
+  const std::pair<const char*, serve::Opcode> classes[] = {
+      {"ping", serve::Opcode::kPing},
+      {"support", serve::Opcode::kSupport},
+      {"membership", serve::Opcode::kMembership},
+      {"top-k", serve::Opcode::kTopK},
+      {"rule", serve::Opcode::kRule},
+  };
+  Table table({"class", "requests", "errors", "seconds", "rps", "p50",
+               "p99", "p999"});
+  std::vector<ClassResult> rows;
+  for (const auto& [name, opcode] : classes) {
+    const auto pool = make_pool(opcode, max_rank, 256);
+    ClassResult row =
+        run_class(server.port(), name, pool, requests, client_threads);
+    table.add_row(
+        {row.name, std::to_string(row.requests), std::to_string(row.errors),
+         format_duration(row.seconds),
+         std::to_string(static_cast<std::uint64_t>(row.throughput_rps())),
+         format_duration(static_cast<double>(row.latency.percentile(0.50)) /
+                         1e9),
+         format_duration(static_cast<double>(row.latency.percentile(0.99)) /
+                         1e9),
+         format_duration(static_cast<double>(row.latency.percentile(0.999)) /
+                         1e9)});
+    rows.push_back(std::move(row));
+  }
+  server.stop();
+  std::filesystem::remove(blob_path);
+  std::cout << table.to_text();
+
+  write_json(args.get("out", "BENCH_serve.json"), scale, minsup,
+             client_threads, server_threads, blob.size(), rows);
+
+  std::cout << "\nExpected shape: ping bounds the protocol + event-loop\n"
+               "floor; support/rule pay the sum-bucket scans (Lemma 4.1.1)\n"
+               "so their tails track blob size; membership stays near ping\n"
+               "(one bucket decides); top-k is a cached table read. Zero\n"
+               "errors at any concurrency — overload and deadline paths\n"
+               "return typed statuses and would count here.\n";
+  return 0;
+}

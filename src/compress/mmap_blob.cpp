@@ -1,0 +1,68 @@
+#include "compress/mmap_blob.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace plt::compress {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("mmap blob '" + path + "': " + what + " (" +
+                           std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+MappedBlob::~MappedBlob() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MappedBlob::MappedBlob(MappedBlob&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedBlob& MappedBlob::operator=(MappedBlob&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedBlob MappedBlob::open(const std::string& path) {
+  PLT_FAILPOINT("compress.mmap_blob");
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "open failed");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "fstat failed");
+  }
+  MappedBlob blob;
+  blob.size_ = static_cast<std::size_t>(st.st_size);
+  if (blob.size_ == 0) {
+    ::close(fd);
+    return blob;  // empty span; header parsing rejects it downstream
+  }
+  void* addr = ::mmap(nullptr, blob.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    blob.size_ = 0;
+    fail(path, "mmap failed");
+  }
+  blob.addr_ = addr;
+  return blob;
+}
+
+}  // namespace plt::compress

@@ -1,0 +1,44 @@
+// Zero-copy blob access: a read-only memory mapping of a PLT2 blob file.
+// The serving path (src/serve) keeps one MappedBlob per loaded blob and
+// hands spans of it straight to BlobIndex / decode_bucket — the kernel's
+// page cache is the only copy of the data, shared across every worker
+// thread and every server process mapping the same file.
+//
+// read_blob_file() (codec.hpp) stays the right call for one-shot decode
+// paths; the mapping wins when the blob is large, long-lived, or queried
+// sparsely (sum-bucket random access touches only the pages it needs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace plt::compress {
+
+class MappedBlob {
+ public:
+  MappedBlob() = default;
+  ~MappedBlob();
+  MappedBlob(MappedBlob&& other) noexcept;
+  MappedBlob& operator=(MappedBlob&& other) noexcept;
+  MappedBlob(const MappedBlob&) = delete;
+  MappedBlob& operator=(const MappedBlob&) = delete;
+
+  /// Maps `path` read-only (PROT_READ, MAP_PRIVATE). Throws
+  /// std::runtime_error when the file cannot be opened, stat'd or mapped.
+  /// An empty file maps to an empty span (no mapping is created).
+  static MappedBlob open(const std::string& path);
+
+  /// The mapped bytes; valid until destruction/move-out.
+  std::span<const std::uint8_t> bytes() const {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace plt::compress

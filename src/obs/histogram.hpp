@@ -47,6 +47,16 @@ class LatencyHistogram {
   /// exact order statistics — good enough for SLO-style reporting.
   std::uint64_t percentile_ns(double p) const;
 
+  /// The SLO accessor used by plt-serve and bench_serve: the q-quantile
+  /// (q in [0, 1]) as the inclusive upper bound 2^(i+1)-1 of the log2
+  /// bucket [2^i, 2^(i+1)) holding the q-th order statistic.
+  ///
+  /// Error bound: the true order statistic v lies in the same bucket, so
+  /// result/2 < v <= result — the reported quantile overestimates by less
+  /// than a factor of two, and never underestimates. (Bucket 0 is exact:
+  /// it holds only 0 and 1 ns, reported as 1.) Empty histogram reports 0.
+  std::uint64_t percentile(double q) const { return percentile_ns(q); }
+
   /// One-line JSON: {"count":N,"sum_ns":S,"buckets":[{"floor_ns":F,
   /// "count":C},...]} with only the occupied buckets listed, in ascending
   /// floor order — byte-stable for identical contents.

@@ -35,6 +35,9 @@ inline constexpr std::string_view kSpans[] = {
     "plan",
     "projection",
     "rank-loop",
+    "serve-load-blob",
+    "serve-query",
+    "serve-request",
     "shard-launch",
     "shard-merge",
     "shard-mine",
@@ -75,6 +78,10 @@ inline constexpr std::string_view kCounters[] = {
     "ranks",
     "ranks-processed",
     "resumed-ranks",
+    "serve.buckets-scanned",
+    "serve.deadline-exceeded",
+    "serve.errors",
+    "serve.requests",
     "shard.attempts",
     "shard.bytes-decoded",
     "shard.itemsets",

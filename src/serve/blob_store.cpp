@@ -1,0 +1,89 @@
+#include "serve/blob_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/failpoint.hpp"
+
+namespace plt::serve {
+
+std::unique_ptr<const LoadedBlob> load_blob(const std::string& path) {
+  PLT_SPAN("serve-load-blob");
+  PLT_FAILPOINT("serve.load_blob");
+  auto blob = std::make_unique<LoadedBlob>();
+  blob->path = path;
+  blob->map = compress::MappedBlob::open(path);
+  blob->bytes = blob->map.bytes();
+  // build_index re-parses the header and every partition frame, verifying
+  // the PLT2 CRCs as it goes — a corrupt byte anywhere fails the load here,
+  // before the blob can serve a single query.
+  blob->index = compress::build_index(blob->bytes);
+  blob->max_rank = blob->index.max_rank;
+  blob->item_support.assign(blob->max_rank, 0);
+
+  // One full pass to warm the per-rank support cache: the prefix sums of a
+  // position vector are the ranks of its items (Lemma 4.1.1), so each
+  // entry adds its freq to every prefix-sum rank. Also establishes
+  // total_freq (the empty itemset's support).
+  for (const compress::BlobIndex::PartitionRange& range :
+       blob->index.partitions) {
+    if (range.entries == 0) continue;
+    compress::decode_partition(
+        blob->bytes, blob->index, range.length,
+        [&](std::span<const Pos> positions, Count freq) {
+          ++blob->entries;
+          blob->total_freq += freq;
+          Rank rank = 0;
+          for (const Pos position : positions) {
+            rank += position;
+            if (rank >= 1 && rank <= blob->max_rank)
+              blob->item_support[rank - 1] += freq;
+          }
+        });
+  }
+
+  blob->ranks_by_support.reserve(blob->item_support.size());
+  for (Rank rank = 1; rank <= blob->max_rank; ++rank) {
+    const Count support = blob->item_support[rank - 1];
+    if (support > 0) blob->ranks_by_support.push_back({rank, support});
+  }
+  std::stable_sort(blob->ranks_by_support.begin(),
+                   blob->ranks_by_support.end(),
+                   [](const TopEntry& a, const TopEntry& b) {
+                     if (a.support != b.support) return a.support > b.support;
+                     return a.rank < b.rank;
+                   });
+  return blob;
+}
+
+BlobStore::BlobStore(std::vector<std::string> paths)
+    : paths_(std::move(paths)) {}
+
+void BlobStore::load_initial() {
+  auto set = std::make_shared<BlobSet>();
+  set->generation = 1;
+  for (const std::string& path : paths_) set->blobs.push_back(load_blob(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(set);
+  generation_ = 1;
+}
+
+std::shared_ptr<const BlobSet> BlobStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint32_t BlobStore::reload() {
+  // Build the whole next generation before taking the lock: a failure here
+  // propagates to the caller and the current set keeps serving.
+  auto set = std::make_shared<BlobSet>();
+  for (const std::string& path : paths_) set->blobs.push_back(load_blob(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  set->generation = ++generation_;
+  current_ = std::move(set);
+  return generation_;
+}
+
+}  // namespace plt::serve

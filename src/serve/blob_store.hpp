@@ -1,0 +1,82 @@
+// Blob loading and hot swap for plt-serve. A LoadedBlob is one mmap'd PLT2
+// container plus everything the query engine needs to answer without
+// decoding the whole structure: the CRC-verified BlobIndex (sum-bucket
+// random access), the total transaction mass, and a per-rank support cache
+// (one full scan at load time) that makes top-k queries O(k).
+//
+// BlobStore owns the ordered list of blob paths (blob_id = position) and
+// the current immutable BlobSet generation. Reload builds the entire next
+// generation off to the side and swaps one shared_ptr under a mutex:
+// in-flight requests keep the snapshot they started with, so a swap drains
+// naturally — the old mapping unmaps when the last request referencing it
+// completes. A reload that fails (missing file, CRC mismatch) leaves the
+// current generation serving untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/index.hpp"
+#include "compress/mmap_blob.hpp"
+#include "serve/protocol.hpp"
+
+namespace plt::serve {
+
+struct LoadedBlob {
+  std::string path;
+  compress::MappedBlob map;
+  std::span<const std::uint8_t> bytes;  ///< map.bytes(), for readability
+  compress::BlobIndex index;
+  Rank max_rank = 0;
+  Count total_freq = 0;  ///< Σ freq over all entries = transaction count
+  std::uint64_t entries = 0;
+  /// support[rank-1]: Σ freq over entries whose vector contains `rank`.
+  std::vector<Count> item_support;
+  /// Every rank with support > 0, sorted by support desc then rank asc —
+  /// the top-k answer is a prefix of this.
+  std::vector<TopEntry> ranks_by_support;
+};
+
+/// One immutable generation of loaded blobs; shared by snapshot.
+struct BlobSet {
+  std::uint32_t generation = 0;
+  std::vector<std::unique_ptr<const LoadedBlob>> blobs;
+
+  const LoadedBlob* blob(std::uint16_t id) const {
+    return id < blobs.size() ? blobs[id].get() : nullptr;
+  }
+};
+
+/// Maps, CRC-checks and indexes one blob file. Throws std::runtime_error on
+/// any validation failure (the caller decides whether that is fatal).
+std::unique_ptr<const LoadedBlob> load_blob(const std::string& path);
+
+class BlobStore {
+ public:
+  explicit BlobStore(std::vector<std::string> paths);
+
+  /// Loads generation 1. Throws on the first bad blob.
+  void load_initial();
+
+  /// The current generation; never null after load_initial().
+  std::shared_ptr<const BlobSet> snapshot() const;
+
+  /// Builds the next generation from the same paths and swaps it in.
+  /// Returns the new generation number; throws (keeping the old set
+  /// serving) when any blob fails to load.
+  std::uint32_t reload();
+
+  const std::vector<std::string>& paths() const { return paths_; }
+
+ private:
+  std::vector<std::string> paths_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<const BlobSet> current_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace plt::serve

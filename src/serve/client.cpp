@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace plt::serve {
+
+QueryClient::QueryClient(std::uint16_t port) : fd_(connect_tcp(port)) {}
+
+std::optional<Response> QueryClient::read_response() {
+  std::uint8_t prefix[4];
+  if (!read_exact(fd_.get(), prefix, sizeof(prefix))) return std::nullopt;
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof(length));
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0 && !read_exact(fd_.get(), payload.data(), payload.size()))
+    throw SocketError("connection closed mid-frame");
+  Response response;
+  if (!decode_response(payload, response))
+    throw std::runtime_error("malformed response frame from server");
+  return response;
+}
+
+std::optional<Response> QueryClient::call(const Request& request) {
+  write_all(fd_.get(), encode_request(request));
+  // The server interleaves responses from other requests in the same tick;
+  // skip anything that is not ours (single-threaded callers never see any,
+  // but the concurrency suite shares a helper).
+  for (;;) {
+    std::optional<Response> response = read_response();
+    if (!response.has_value()) return std::nullopt;
+    if (response->request_id == request.request_id) return response;
+  }
+}
+
+namespace {
+
+[[noreturn]] void throw_status(const Response& response) {
+  throw std::runtime_error(std::string("server error: ") +
+                           to_string(response.status) +
+                           (response.detail.empty() ? ""
+                                                    : " (" + response.detail +
+                                                          ")"));
+}
+
+Response expect_ok(std::optional<Response> response) {
+  if (!response.has_value())
+    throw SocketError("server closed the connection before answering");
+  if (response->status != Status::kOk) throw_status(*response);
+  return *std::move(response);
+}
+
+}  // namespace
+
+Count QueryClient::support(std::uint16_t blob_id, std::span<const Rank> ranks,
+                           std::uint32_t deadline_ms) {
+  Request request;
+  request.opcode = Opcode::kSupport;
+  request.blob_id = blob_id;
+  request.request_id = next_id_++;
+  request.deadline_ms = deadline_ms;
+  request.ranks.assign(ranks.begin(), ranks.end());
+  return expect_ok(call(request)).support;
+}
+
+Response QueryClient::membership(std::uint16_t blob_id,
+                                 std::span<const Rank> ranks) {
+  Request request;
+  request.opcode = Opcode::kMembership;
+  request.blob_id = blob_id;
+  request.request_id = next_id_++;
+  request.ranks.assign(ranks.begin(), ranks.end());
+  return expect_ok(call(request));
+}
+
+std::vector<TopEntry> QueryClient::top_k(std::uint16_t blob_id,
+                                         std::uint32_t k) {
+  Request request;
+  request.opcode = Opcode::kTopK;
+  request.blob_id = blob_id;
+  request.request_id = next_id_++;
+  request.k = k;
+  return expect_ok(call(request)).top;
+}
+
+Response QueryClient::rule(std::uint16_t blob_id,
+                           std::span<const Rank> antecedent, Rank consequent) {
+  Request request;
+  request.opcode = Opcode::kRule;
+  request.blob_id = blob_id;
+  request.request_id = next_id_++;
+  request.ranks.assign(antecedent.begin(), antecedent.end());
+  request.consequent = consequent;
+  return expect_ok(call(request));
+}
+
+bool QueryClient::ping() {
+  Request request;
+  request.opcode = Opcode::kPing;
+  request.request_id = next_id_++;
+  const std::optional<Response> response = call(request);
+  return response.has_value() && response->status == Status::kOk;
+}
+
+Response QueryClient::stats() {
+  Request request;
+  request.opcode = Opcode::kStats;
+  request.request_id = next_id_++;
+  return expect_ok(call(request));
+}
+
+Response QueryClient::reload() {
+  Request request;
+  request.opcode = Opcode::kReload;
+  request.request_id = next_id_++;
+  return expect_ok(call(request));
+}
+
+void QueryClient::send_raw(std::span<const std::uint8_t> bytes) {
+  write_all(fd_.get(), bytes);
+}
+
+void QueryClient::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace plt::serve

@@ -1,0 +1,337 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+namespace plt::serve {
+
+namespace {
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xFF));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+}
+
+void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFF));
+}
+
+/// Bounds-checked little-endian reads over an untrusted payload. Each
+/// returns false when the read would run past the end.
+struct Reader {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  bool u8(std::uint8_t& out) {
+    if (pos + 1 > bytes.size()) return false;
+    out = bytes[pos++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos + 2 > bytes.size()) return false;
+    out = static_cast<std::uint16_t>(bytes[pos] |
+                                     (std::uint16_t{bytes[pos + 1]} << 8));
+    pos += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (pos + 4 > bytes.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= std::uint32_t{bytes[pos + static_cast<std::size_t>(i)]}
+             << (8 * i);
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (pos + 8 > bytes.size()) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i)
+      out |= std::uint64_t{bytes[pos + static_cast<std::size_t>(i)]}
+             << (8 * i);
+    pos += 8;
+    return true;
+  }
+  bool done() const { return pos == bytes.size(); }
+};
+
+/// `u16le count | count * u32le rank`, ranks strictly increasing, each >= 1.
+bool read_itemset(Reader& reader, std::vector<Rank>& out) {
+  std::uint16_t count = 0;
+  if (!reader.u16(count)) return false;
+  if (count > kMaxQueryItems) return false;
+  out.clear();
+  out.reserve(count);
+  Rank prev = 0;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint32_t rank = 0;
+    if (!reader.u32(rank)) return false;
+    if (rank <= prev) return false;  // enforces >= 1 and strict order
+    out.push_back(rank);
+    prev = rank;
+  }
+  return true;
+}
+
+void write_itemset(std::vector<std::uint8_t>& out,
+                   const std::vector<Rank>& ranks) {
+  put_u16le(out, static_cast<std::uint16_t>(ranks.size()));
+  for (const Rank rank : ranks) put_u32le(out, rank);
+}
+
+/// Fills in the length prefix once the payload is complete.
+std::vector<std::uint8_t> finish_frame(std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 4);
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+const char* to_string(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "ping";
+    case Opcode::kSupport: return "support";
+    case Opcode::kMembership: return "membership";
+    case Opcode::kTopK: return "top-k";
+    case Opcode::kRule: return "rule";
+    case Opcode::kStats: return "stats";
+    case Opcode::kReload: return "reload";
+  }
+  return "unknown";
+}
+
+bool known_opcode(std::uint8_t raw) {
+  return raw < kOpcodeCount;
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kBadMagic: return "BAD_MAGIC";
+    case Status::kBadVersion: return "BAD_VERSION";
+    case Status::kBadOpcode: return "BAD_OPCODE";
+    case Status::kMalformedBody: return "MALFORMED_BODY";
+    case Status::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case Status::kUnknownBlob: return "UNKNOWN_BLOB";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kOverloaded: return "OVERLOADED";
+    case Status::kShuttingDown: return "SHUTTING_DOWN";
+    case Status::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> payload;
+  put_u32le(payload, kRequestMagic);
+  payload.push_back(kProtocolVersion);
+  payload.push_back(static_cast<std::uint8_t>(request.opcode));
+  put_u16le(payload, request.blob_id);
+  put_u32le(payload, request.request_id);
+  put_u32le(payload, request.deadline_ms);
+  switch (request.opcode) {
+    case Opcode::kSupport:
+    case Opcode::kMembership:
+      write_itemset(payload, request.ranks);
+      break;
+    case Opcode::kTopK:
+      put_u32le(payload, request.k);
+      break;
+    case Opcode::kRule:
+      write_itemset(payload, request.ranks);
+      put_u32le(payload, request.consequent);
+      break;
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kReload:
+      break;
+  }
+  return finish_frame(std::move(payload));
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> payload;
+  put_u32le(payload, kResponseMagic);
+  payload.push_back(kProtocolVersion);
+  payload.push_back(static_cast<std::uint8_t>(response.opcode));
+  payload.push_back(static_cast<std::uint8_t>(response.status));
+  payload.push_back(0);
+  put_u32le(payload, response.request_id);
+  if (response.status != Status::kOk) {
+    put_u32le(payload, static_cast<std::uint32_t>(response.detail.size()));
+    payload.insert(payload.end(), response.detail.begin(),
+                   response.detail.end());
+    return finish_frame(std::move(payload));
+  }
+  switch (response.opcode) {
+    case Opcode::kSupport:
+      put_u64le(payload, response.support);
+      break;
+    case Opcode::kMembership:
+      payload.push_back(response.member ? 1 : 0);
+      put_u64le(payload, response.support);
+      break;
+    case Opcode::kTopK:
+      put_u32le(payload, static_cast<std::uint32_t>(response.top.size()));
+      for (const TopEntry& entry : response.top) {
+        put_u32le(payload, entry.rank);
+        put_u64le(payload, entry.support);
+      }
+      break;
+    case Opcode::kRule:
+      put_u64le(payload, response.antecedent_support);
+      put_u64le(payload, response.support);
+      put_u64le(payload, response.confidence_ppm);
+      break;
+    case Opcode::kStats:
+      put_u32le(payload, response.generation);
+      put_u32le(payload, static_cast<std::uint32_t>(response.detail.size()));
+      payload.insert(payload.end(), response.detail.begin(),
+                     response.detail.end());
+      break;
+    case Opcode::kReload:
+      put_u32le(payload, response.generation);
+      break;
+    case Opcode::kPing:
+      break;
+  }
+  return finish_frame(std::move(payload));
+}
+
+FrameResult try_frame(std::span<const std::uint8_t> buffer,
+                      std::uint32_t max_frame,
+                      std::span<const std::uint8_t>& payload,
+                      std::size_t& consumed) {
+  if (buffer.size() < 4) return FrameResult::kNeedMore;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= std::uint32_t{buffer[static_cast<std::size_t>(i)]} << (8 * i);
+  if (length > max_frame) return FrameResult::kTooLarge;
+  if (buffer.size() < std::size_t{4} + length) return FrameResult::kNeedMore;
+  payload = buffer.subspan(4, length);
+  consumed = std::size_t{4} + length;
+  return FrameResult::kFrame;
+}
+
+Status decode_request(std::span<const std::uint8_t> payload, Request& out) {
+  Reader reader{payload};
+  std::uint32_t magic = 0;
+  if (!reader.u32(magic)) return Status::kBadMagic;
+  if (magic != kRequestMagic) return Status::kBadMagic;
+  std::uint8_t version = 0, opcode = 0;
+  if (!reader.u8(version) || !reader.u8(opcode) ||
+      !reader.u16(out.blob_id) || !reader.u32(out.request_id) ||
+      !reader.u32(out.deadline_ms))
+    return Status::kMalformedBody;
+  if (version != kProtocolVersion) return Status::kBadVersion;
+  if (!known_opcode(opcode)) return Status::kBadOpcode;
+  out.opcode = static_cast<Opcode>(opcode);
+  switch (out.opcode) {
+    case Opcode::kSupport:
+      if (!read_itemset(reader, out.ranks)) return Status::kMalformedBody;
+      break;
+    case Opcode::kMembership:
+      if (!read_itemset(reader, out.ranks) || out.ranks.empty())
+        return Status::kMalformedBody;
+      break;
+    case Opcode::kTopK:
+      if (!reader.u32(out.k)) return Status::kMalformedBody;
+      break;
+    case Opcode::kRule: {
+      if (!read_itemset(reader, out.ranks)) return Status::kMalformedBody;
+      std::uint32_t consequent = 0;
+      if (!reader.u32(consequent) || consequent == 0)
+        return Status::kMalformedBody;
+      // The consequent must not repeat an antecedent item.
+      for (const Rank rank : out.ranks)
+        if (rank == consequent) return Status::kMalformedBody;
+      out.consequent = consequent;
+      break;
+    }
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kReload:
+      break;
+  }
+  if (!reader.done()) return Status::kMalformedBody;  // trailing garbage
+  return Status::kOk;
+}
+
+bool decode_response(std::span<const std::uint8_t> payload, Response& out) {
+  Reader reader{payload};
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0, opcode = 0, status = 0, pad = 0;
+  if (!reader.u32(magic) || magic != kResponseMagic) return false;
+  if (!reader.u8(version) || version != kProtocolVersion) return false;
+  if (!reader.u8(opcode) || !known_opcode(opcode)) return false;
+  if (!reader.u8(status) || !reader.u8(pad) || !reader.u32(out.request_id))
+    return false;
+  out.opcode = static_cast<Opcode>(opcode);
+  if (status > static_cast<std::uint8_t>(Status::kInternal)) return false;
+  out.status = static_cast<Status>(status);
+  if (out.status != Status::kOk) {
+    std::uint32_t detail_len = 0;
+    if (!reader.u32(detail_len)) return false;
+    if (reader.pos + detail_len > payload.size()) return false;
+    out.detail.assign(
+        reinterpret_cast<const char*>(payload.data() + reader.pos),
+        detail_len);
+    reader.pos += detail_len;
+    return reader.done();
+  }
+  switch (out.opcode) {
+    case Opcode::kSupport:
+      if (!reader.u64(out.support)) return false;
+      break;
+    case Opcode::kMembership: {
+      std::uint8_t member = 0;
+      if (!reader.u8(member) || !reader.u64(out.support)) return false;
+      out.member = member != 0;
+      break;
+    }
+    case Opcode::kTopK: {
+      std::uint32_t n = 0;
+      if (!reader.u32(n)) return false;
+      out.top.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        TopEntry entry;
+        if (!reader.u32(entry.rank) || !reader.u64(entry.support))
+          return false;
+        out.top.push_back(entry);
+      }
+      break;
+    }
+    case Opcode::kRule:
+      if (!reader.u64(out.antecedent_support) || !reader.u64(out.support) ||
+          !reader.u64(out.confidence_ppm))
+        return false;
+      break;
+    case Opcode::kStats: {
+      std::uint32_t detail_len = 0;
+      if (!reader.u32(out.generation) || !reader.u32(detail_len))
+        return false;
+      if (reader.pos + detail_len > payload.size()) return false;
+      out.detail.assign(
+          reinterpret_cast<const char*>(payload.data() + reader.pos),
+          detail_len);
+      reader.pos += detail_len;
+      break;
+    }
+    case Opcode::kReload:
+      if (!reader.u32(out.generation)) return false;
+      break;
+    case Opcode::kPing:
+      break;
+  }
+  return reader.done();
+}
+
+}  // namespace plt::serve

@@ -1,0 +1,159 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+
+#include "core/subset_check.hpp"
+#include "obs/trace.hpp"
+#include "util/failpoint.hpp"
+
+namespace plt::serve {
+
+namespace {
+
+/// The per-bucket cooperative check. The "serve.deadline" failpoint
+/// simulates the wall clock expiring at exactly this checkpoint, so the
+/// typed-DEADLINE contract is testable without timing races.
+bool deadline_tripped(const core::MiningControl& control) {
+#if PLT_FAILPOINTS_ENABLED
+  try {
+    PLT_FAILPOINT("serve.deadline");
+  } catch (const InjectedFault&) {
+    return true;
+  }
+#endif
+  return control.should_stop();
+}
+
+/// Position vector of a strictly-increasing rank sequence (gaps).
+core::PosVec ranks_to_positions(std::span<const Rank> ranks) {
+  core::PosVec positions;
+  positions.reserve(ranks.size());
+  Rank prev = 0;
+  for (const Rank rank : ranks) {
+    positions.push_back(rank - prev);
+    prev = rank;
+  }
+  return positions;
+}
+
+Response deadline_response(const Request& request) {
+  Response response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.status = Status::kDeadlineExceeded;
+  response.detail = "deadline exceeded mid-scan";
+  return response;
+}
+
+}  // namespace
+
+bool blob_support(const LoadedBlob& blob, std::span<const Rank> ranks,
+                  const core::MiningControl& control, QueryCounters& counters,
+                  Count& support) {
+  support = 0;
+  if (ranks.empty()) {
+    support = blob.total_freq;
+    return true;
+  }
+  const Rank top = ranks.back();
+  if (top > blob.max_rank) return true;  // item outside the alphabet
+  // Fast path: a singleton's support is the load-time cache.
+  if (ranks.size() == 1) {
+    support = blob.item_support[top - 1];
+    return true;
+  }
+  for (Rank sum = top; sum <= blob.max_rank; ++sum) {
+    if (deadline_tripped(control)) {
+      ++counters.deadline_exceeded;
+      return false;
+    }
+    ++counters.buckets_scanned;
+    compress::decode_bucket(blob.bytes, blob.index, sum,
+                            [&](std::span<const Pos> positions, Count freq) {
+                              ++counters.entries_tested;
+                              if (core::ranks_subset_of(ranks, positions))
+                                support += freq;
+                            });
+  }
+  return true;
+}
+
+Response answer_query(const Request& request, const LoadedBlob& blob,
+                      const core::MiningControl& control,
+                      QueryCounters& counters) {
+  PLT_SPAN("serve-query");
+  Response response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+
+  switch (request.opcode) {
+    case Opcode::kSupport: {
+      if (!blob_support(blob, request.ranks, control, counters,
+                        response.support))
+        return deadline_response(request);
+      break;
+    }
+    case Opcode::kMembership: {
+      // Exact stored vector: it can only live in the bucket whose sum is
+      // the itemset's top rank, so one bucket decides.
+      const Rank top = request.ranks.back();
+      if (top > blob.max_rank) break;  // not stored: member=false, freq=0
+      if (deadline_tripped(control)) {
+        ++counters.deadline_exceeded;
+        return deadline_response(request);
+      }
+      const core::PosVec target = ranks_to_positions(request.ranks);
+      ++counters.buckets_scanned;
+      compress::decode_bucket(
+          blob.bytes, blob.index, top,
+          [&](std::span<const Pos> positions, Count freq) {
+            ++counters.entries_tested;
+            if (positions.size() == target.size() &&
+                std::equal(positions.begin(), positions.end(),
+                           target.begin())) {
+              response.member = true;
+              response.support = freq;
+            }
+          });
+      break;
+    }
+    case Opcode::kTopK: {
+      const std::size_t k = std::min<std::size_t>(
+          request.k, blob.ranks_by_support.size());
+      response.top.assign(blob.ranks_by_support.begin(),
+                          blob.ranks_by_support.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+      break;
+    }
+    case Opcode::kRule: {
+      // support(A) and support(A ∪ {c}) are two bucket scans; confidence
+      // is reported in parts-per-million so the wire stays integral.
+      if (!blob_support(blob, request.ranks, control, counters,
+                        response.antecedent_support))
+        return deadline_response(request);
+      std::vector<Rank> with_consequent(request.ranks.begin(),
+                                        request.ranks.end());
+      with_consequent.insert(
+          std::upper_bound(with_consequent.begin(), with_consequent.end(),
+                           request.consequent),
+          request.consequent);
+      if (!blob_support(blob, with_consequent, control, counters,
+                        response.support))
+        return deadline_response(request);
+      response.confidence_ppm =
+          response.antecedent_support == 0
+              ? 0
+              : response.support * 1000000 / response.antecedent_support;
+      break;
+    }
+    case Opcode::kPing:
+    case Opcode::kStats:
+    case Opcode::kReload:
+      response.status = Status::kInternal;
+      response.detail = "opcode is not a blob query";
+      break;
+  }
+  return response;
+}
+
+}  // namespace plt::serve

@@ -1,0 +1,51 @@
+// Query execution over one mmap'd blob: the serving counterpart of
+// core::support_of, but driven by the BlobIndex sum buckets so a query
+// touches only the byte ranges that can possibly contain witnesses.
+//
+// Support of an itemset with top rank r: any transaction containing the
+// itemset contains rank r, and a stored vector's sum is the rank of its
+// highest item (Lemma 4.1.1) — so only buckets r..max_rank can hold
+// supersets, and the engine scans exactly those, testing each entry with
+// the streaming ranks_subset_of check (no decode buffer beyond one vector).
+// Membership (exact stored vector) needs one bucket: sum == top rank.
+//
+// Every bucket boundary is a MiningControl checkpoint: a per-request
+// deadline that trips mid-scan aborts the query with the typed
+// DEADLINE_EXCEEDED status — never a silent drop. The "serve.deadline"
+// failpoint forces that trip deterministically so tests can pin the
+// contract without racing a clock.
+#pragma once
+
+#include "core/exec_control.hpp"
+#include "serve/blob_store.hpp"
+#include "serve/protocol.hpp"
+
+namespace plt::serve {
+
+/// Monotonic per-request-class tallies, kept by the caller (the server
+/// aggregates per worker; tests pass a scratch instance).
+struct QueryCounters {
+  std::uint64_t buckets_scanned = 0;
+  std::uint64_t entries_tested = 0;
+  std::uint64_t deadline_exceeded = 0;
+};
+
+/// Answers one already-validated request against one loaded blob. The
+/// response carries the request's id/opcode; `status` is kOk,
+/// kDeadlineExceeded, or kMalformedBody (semantic rejections that only the
+/// engine can see, e.g. a top-k of zero is fine but a rule whose
+/// antecedent support is zero still answers with confidence 0).
+/// kStats/kReload/kPing are server-level opcodes the engine rejects with
+/// kInternal — routing them here is a server bug.
+Response answer_query(const Request& request, const LoadedBlob& blob,
+                      const core::MiningControl& control,
+                      QueryCounters& counters);
+
+/// Support of `ranks` (strictly increasing) via the sum-bucket scan.
+/// Returns false when the control tripped mid-scan (support is then a
+/// partial sum and must not be served).
+bool blob_support(const LoadedBlob& blob, std::span<const Rank> ranks,
+                  const core::MiningControl& control, QueryCounters& counters,
+                  Count& support);
+
+}  // namespace plt::serve

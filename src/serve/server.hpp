@@ -1,0 +1,131 @@
+// plt-serve daemon core (DESIGN.md S27): a thread-per-core epoll server
+// over mmap'd PLT2 blobs. No framework — one acceptor thread hands
+// accepted connections round-robin to N worker loops; each worker owns its
+// connections outright (epoll set, buffers, stats), so the only shared
+// state on the request path is the BlobStore snapshot (one shared_ptr copy
+// per tick), the global in-flight byte budget (one atomic), and the
+// per-worker stats mutex the admin endpoint takes when merging.
+//
+// Batching: all requests decoded in one event-loop tick are executed
+// grouped by (blob, top-rank bucket) before any response is flushed, so
+// concurrent queries against the same partition run back-to-back over warm
+// pages. Responses therefore leave in batch order, not arrival order —
+// the protocol's request_id correlation makes that explicit.
+//
+// Admission control: per-request MiningControl deadlines (request header
+// or server default) bound scan time, and a global in-flight memory budget
+// bounds buffered request+response bytes — requests over budget get the
+// typed OVERLOADED error instead of queueing without bound.
+//
+// Hot swap: reload() (admin opcode, or SIGHUP via the flag plt-serve
+// registers) builds the next BlobSet off to the side and swaps one
+// shared_ptr; in-flight queries drain on the old generation, which unmaps
+// when the last snapshot holder drops it. A failed reload keeps serving
+// the old generation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "serve/blob_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket_io.hpp"
+
+namespace plt::serve {
+
+struct ServerOptions {
+  std::vector<std::string> blob_paths;
+  std::uint16_t port = 0;  ///< 0 = ephemeral (port() reports the binding)
+  unsigned threads = 1;    ///< worker event loops (thread-per-core)
+  std::uint32_t default_deadline_ms = 0;  ///< 0 = no deadline
+  /// Global in-flight byte budget (buffered requests + queued responses).
+  /// 0 = unlimited.
+  std::size_t memory_budget = std::size_t{64} << 20;
+  std::uint32_t max_frame = kDefaultMaxFrame;
+};
+
+/// Point-in-time serving stats: per-request-class counts and latency
+/// histograms plus connection/protocol tallies. Histograms merge
+/// deterministically (per-bucket addition), so the snapshot is the sum
+/// over workers no matter how work was distributed.
+struct StatsSnapshot {
+  struct PerClass {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;  ///< responses with status != kOk
+    std::uint64_t deadline_exceeded = 0;
+    obs::LatencyHistogram latency;
+  };
+  PerClass per_class[kOpcodeCount];
+  std::uint64_t connections = 0;
+  std::uint64_t disconnects = 0;       ///< peer closed mid-frame
+  std::uint64_t protocol_errors = 0;   ///< bad magic/version/oversized/...
+  std::uint64_t overloaded = 0;        ///< admissions refused over budget
+  std::uint64_t batches = 0;           ///< executed request groups
+  std::uint64_t batched_requests = 0;  ///< requests that shared a batch
+  std::uint64_t reloads = 0;
+  std::uint32_t generation = 0;
+
+  /// The admin JSON document (also returned by the kStats opcode): one
+  /// object with per-class counters + histograms and a plt-trace-v1 span
+  /// tree built from the same numbers.
+  std::string to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads every blob (throws on a missing/corrupt one), binds the port
+  /// (throws SocketError on EADDRINUSE), and starts the acceptor + worker
+  /// threads.
+  void start();
+
+  /// Drains and joins every thread; idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  /// Atomic blob hot-swap; returns the new generation. Thread-safe; also
+  /// reachable through the kReload admin opcode. Throws on load failure
+  /// (old generation keeps serving).
+  std::uint32_t reload();
+
+  /// Polled by the acceptor loop (~10 Hz): when the pointed-to flag is
+  /// nonzero it is cleared and a reload runs — the SIGHUP hook, kept
+  /// signal-safe because the handler only sets the atomic.
+  void watch_reload_flag(std::atomic<int>* flag) { reload_flag_ = flag; }
+
+  StatsSnapshot stats() const;
+  std::string stats_json() const { return stats().to_json(); }
+
+ private:
+  struct Worker;
+  friend struct Worker;
+
+  void acceptor_loop();
+  void worker_loop(Worker& worker);
+
+  ServerOptions options_;
+  BlobStore store_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int>* reload_flag_ = nullptr;
+  std::atomic<std::size_t> in_flight_bytes_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::uint16_t port_ = 0;
+  Fd listen_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+  std::size_t next_worker_ = 0;
+};
+
+}  // namespace plt::serve

@@ -1,0 +1,150 @@
+#include "serve/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.hpp"
+
+namespace plt::serve {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw SocketError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Failpoint seam: when `name` is armed, the injected fault is absorbed and
+/// the caller's attempt is truncated to a single byte (a deterministic
+/// "short" operation, not an error).
+std::size_t maybe_shorten(const char* name, std::size_t length) {
+#if PLT_FAILPOINTS_ENABLED
+  try {
+    PLT_FAILPOINT(name);
+  } catch (const InjectedFault&) {
+    return length > 1 ? 1 : length;
+  }
+#else
+  (void)name;
+#endif
+  return length;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::ptrdiff_t read_some(int fd, std::uint8_t* buffer, std::size_t length) {
+  length = maybe_shorten("serve.socket.read", length);
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, length, 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNRESET) return 0;  // vanished peer == EOF
+    fail("recv");
+  }
+}
+
+std::ptrdiff_t write_some(int fd, const std::uint8_t* buffer,
+                          std::size_t length) {
+  length = maybe_shorten("serve.socket.write", length);
+  for (;;) {
+    const ssize_t n = ::send(fd, buffer, length, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EPIPE || errno == ECONNRESET) return 0;
+    fail("send");
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    fail("fcntl(O_NONBLOCK)");
+}
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  // SO_REUSEADDR only skips TIME_WAIT; a live listener on the same port
+  // still fails bind() with EADDRINUSE, which is the contract the
+  // port-in-use CLI check pins.
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0)
+    fail("setsockopt(SO_REUSEADDR)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    fail("bind");
+  if (::listen(fd.get(), 128) != 0) fail("listen");
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+      0)
+    fail("getsockname");
+  bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+Fd connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      break;
+    if (errno == EINTR) continue;
+    fail("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void write_all(int fd, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::ptrdiff_t n =
+        write_some(fd, bytes.data() + off, bytes.size() - off);
+    if (n == 0 && bytes.size() - off > 0) {
+      // Blocking socket: 0 only means the peer is gone.
+      throw SocketError("write_all: connection closed by peer");
+    }
+    if (n > 0) off += static_cast<std::size_t>(n);
+    // n < 0 cannot happen on a blocking socket, but looping is harmless.
+  }
+}
+
+bool read_exact(int fd, std::uint8_t* buffer, std::size_t length) {
+  std::size_t off = 0;
+  while (off < length) {
+    const std::ptrdiff_t n = read_some(fd, buffer + off, length - off);
+    if (n == 0) {
+      if (off == 0) return false;
+      throw SocketError("read_exact: EOF mid-frame");
+    }
+    if (n > 0) off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace plt::serve

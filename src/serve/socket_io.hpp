@@ -1,0 +1,78 @@
+// Thin POSIX socket layer for plt-serve: RAII fds, nonblocking partial
+// read/write wrappers, and TCP listen/connect helpers. The wrappers are the
+// failpoint seam the robustness suite leans on: arming
+// "serve.socket.read" / "serve.socket.write" truncates the next operation
+// to a single byte, which exercises exactly the short-read/short-write
+// resumption paths a loaded kernel produces naturally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace plt::serve {
+
+/// Hard socket failure (not EOF, not would-block).
+struct SocketError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One nonblocking read. Returns bytes read (> 0), 0 on peer EOF, or -1
+/// when the socket has no data right now (EAGAIN). Throws SocketError on a
+/// hard failure. The "serve.socket.read" failpoint truncates the attempt
+/// to one byte.
+std::ptrdiff_t read_some(int fd, std::uint8_t* buffer, std::size_t length);
+
+/// One nonblocking write. Returns bytes written (>= 0; 0 or short when the
+/// send buffer is full), or -1 on EAGAIN. EPIPE/ECONNRESET surface as 0 so
+/// callers treat a vanished peer like EOF. The "serve.socket.write"
+/// failpoint truncates the attempt to one byte.
+std::ptrdiff_t write_some(int fd, const std::uint8_t* buffer,
+                          std::size_t length);
+
+void set_nonblocking(int fd);
+
+/// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Fills
+/// `bound_port` with the actual port. Throws SocketError on failure —
+/// notably EADDRINUSE, which plt-serve turns into a non-zero exit.
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port);
+
+/// Blocking connect to 127.0.0.1:`port`. Throws SocketError on failure.
+Fd connect_tcp(std::uint16_t port);
+
+/// Blocking helpers for the client side: write the whole span / read
+/// exactly `length` bytes. read_exact returns false on clean EOF before
+/// the first byte; mid-buffer EOF throws.
+void write_all(int fd, std::span<const std::uint8_t> bytes);
+bool read_exact(int fd, std::uint8_t* buffer, std::size_t length);
+
+}  // namespace plt::serve

@@ -28,6 +28,13 @@ Args::Args(int argc, char** argv) {
 
 bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
 
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) keys.push_back(key);
+  return keys;
+}
+
 std::string Args::get(const std::string& key,
                       const std::string& fallback) const {
   const auto it = flags_.find(key);

@@ -23,6 +23,10 @@ class Args {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Every flag key that was passed (sorted) — lets strict tools reject
+  /// unknown flags instead of silently ignoring typos.
+  std::vector<std::string> keys() const;
+
   const std::string& program() const { return program_; }
 
  private:

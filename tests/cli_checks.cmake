@@ -110,6 +110,122 @@ elseif(CHECK STREQUAL "validate")
             "--- with --validate ---\n${out}"
             "--- without ---\n${ref_out}")
   endif()
+elseif(CHECK STREQUAL "serve-bad-flag")
+  # plt-serve's flags are strict: an unknown flag is a usage error (exit
+  # non-zero), never a silently ignored option on a long-running daemon.
+  execute_process(COMMAND ${PLT_SERVE} ${OUT_DIR}/nonexistent.plt
+                          --bogus-flag 1
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "plt-serve accepted an unknown flag (exit 0)")
+  endif()
+  if(NOT err MATCHES "unknown flag --bogus-flag")
+    message(FATAL_ERROR
+            "missing/garbled diagnostic for unknown flag; stderr was:\n"
+            "${err}")
+  endif()
+elseif(CHECK STREQUAL "serve-missing-blob")
+  # A missing blob must fail the startup load, before the socket serves.
+  execute_process(COMMAND ${PLT_SERVE} ${OUT_DIR}/does_not_exist.plt
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "plt-serve served a missing blob (exit 0)")
+  endif()
+elseif(CHECK STREQUAL "serve-corrupt-blob")
+  # A corrupt blob (one flipped payload byte) must fail the CRC verification
+  # in build_index at startup and exit non-zero.
+  file(MAKE_DIRECTORY ${OUT_DIR})
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup-frac 0.1
+                          --emit-blob ${OUT_DIR}/corrupt_src.plt
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --emit-blob exited ${code}:\n${err}")
+  endif()
+  # Overwrite the last byte with its complement (always payload/CRC bytes,
+  # never the magic) so the CRC verification in build_index must fire.
+  execute_process(COMMAND sh -c
+      "cp '${OUT_DIR}/corrupt_src.plt' '${OUT_DIR}/corrupt.plt' || exit 1
+       size=$(wc -c < '${OUT_DIR}/corrupt.plt')
+       last=$(tail -c 1 '${OUT_DIR}/corrupt.plt' | od -An -tu1 | tr -d ' ')
+       printf \"\\\\$(printf '%03o' $(( (last + 1) % 256 )))\" |
+         dd of='${OUT_DIR}/corrupt.plt' bs=1 seek=$(( size - 1 )) \
+            conv=notrunc 2>/dev/null"
+                  RESULT_VARIABLE flip_code)
+  if(NOT flip_code EQUAL 0)
+    message(FATAL_ERROR "could not corrupt the blob copy")
+  endif()
+  execute_process(COMMAND ${PLT_SERVE} ${OUT_DIR}/corrupt.plt
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "plt-serve served a corrupt blob (exit 0)")
+  endif()
+  if(NOT err MATCHES "CRC|checksum|corrupt|truncated|mismatch")
+    message(FATAL_ERROR
+            "corrupt blob rejected without a CRC diagnostic; stderr was:\n"
+            "${err}")
+  endif()
+elseif(CHECK STREQUAL "serve-round-trip")
+  # The serving pipeline end to end: plt-mine --emit-blob, daemon on an
+  # ephemeral port (--ready-file publishes it), plt-query answers, a second
+  # daemon on the same port exits non-zero (port in use), clean SIGTERM.
+  file(MAKE_DIRECTORY ${OUT_DIR})
+  execute_process(COMMAND ${PLT_MINE} --dataset short-dense --scale 0.2
+                          --minsup-frac 0.1
+                          --emit-blob ${OUT_DIR}/roundtrip.plt
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "plt-mine --emit-blob exited ${code}:\n${err}")
+  endif()
+  execute_process(COMMAND sh -c
+      "set -e
+       rm -f '${OUT_DIR}/roundtrip.port'
+       '${PLT_SERVE}' '${OUT_DIR}/roundtrip.plt' \
+         --ready-file '${OUT_DIR}/roundtrip.port' &
+       daemon=$!
+       trap 'kill $daemon 2>/dev/null || true' EXIT
+       for i in $(seq 1 100); do
+         [ -s '${OUT_DIR}/roundtrip.port' ] && break
+         sleep 0.1
+       done
+       [ -s '${OUT_DIR}/roundtrip.port' ] || {
+         echo 'daemon never wrote the ready file' >&2; exit 1; }
+       port=$(cat '${OUT_DIR}/roundtrip.port')
+       '${PLT_QUERY}' --port $port --op ping
+       '${PLT_QUERY}' --port $port --op support --ranks 1 \
+         > '${OUT_DIR}/roundtrip.support'
+       grep -Eq '^[0-9]+$' '${OUT_DIR}/roundtrip.support' || {
+         echo 'plt-query support did not print a number' >&2; exit 1; }
+       '${PLT_QUERY}' --port $port --op topk --k 3 \
+         > '${OUT_DIR}/roundtrip.topk'
+       [ $(wc -l < '${OUT_DIR}/roundtrip.topk') -ge 1 ] || {
+         echo 'plt-query topk printed nothing' >&2; exit 1; }
+       if '${PLT_SERVE}' '${OUT_DIR}/roundtrip.plt' --port $port \
+            2> '${OUT_DIR}/roundtrip.conflict'; then
+         echo 'second daemon bound an in-use port (exit 0)' >&2; exit 1
+       fi
+       grep -qi 'use' '${OUT_DIR}/roundtrip.conflict' || {
+         echo 'port conflict lacked a diagnostic' >&2
+         cat '${OUT_DIR}/roundtrip.conflict' >&2; exit 1; }
+       kill -TERM $daemon
+       wait $daemon"
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "serve round-trip failed (exit ${code}):\n"
+            "${out}\n${err}")
+  endif()
 else()
   message(FATAL_ERROR "unknown CHECK: '${CHECK}'")
 endif()

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -499,6 +500,50 @@ TEST(LatencyHistogramTest, RecordsCountSumAndPercentileBounds) {
   EXPECT_GE(h.percentile_ns(0.5), 10u);
   EXPECT_LE(h.percentile_ns(0.5), 15u);  // bucket [8,16)
   EXPECT_EQ(h.bucket(LatencyHistogram::kBuckets), 0u);  // out of range
+}
+
+TEST(LatencyHistogramTest, PercentileHonorsDocumentedErrorBound) {
+  // percentile(q) is the SLO accessor plt-serve and bench_serve report:
+  // the inclusive upper bound 2^(i+1)-1 of the log2 bucket holding the
+  // q-th order statistic, so result/2 < v <= result and the reported
+  // quantile never underestimates the true one.
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0u);
+
+  std::vector<std::uint64_t> samples;
+  LatencyHistogram h;
+  for (std::uint64_t v : {1u, 3u, 9u, 27u, 81u, 243u, 729u, 2187u, 6561u,
+                          19683u}) {
+    samples.push_back(v);
+    h.record(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    // The true q-th order statistic with the same index convention the
+    // histogram uses (ceil(q * count), 1-based, clamped).
+    auto index = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    index = std::min(std::max<std::size_t>(index, 1), samples.size()) - 1;
+    const std::uint64_t truth = samples[index];
+    const std::uint64_t reported = h.percentile(q);
+    EXPECT_GE(reported, truth) << "q=" << q;          // never underestimates
+    EXPECT_LT(reported / 2, truth) << "q=" << q;      // within 2x
+    EXPECT_EQ(reported, h.percentile_ns(q)) << "q=" << q;  // same accessor
+  }
+
+  // Bucket 0 is exact up to the 1ns resolution: only 0 and 1 land there.
+  LatencyHistogram zeros;
+  zeros.record(0);
+  zeros.record(1);
+  EXPECT_EQ(zeros.percentile(1.0), 1u);
+
+  // Merged histograms answer percentile queries over the union.
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 99; ++i) fast.record(100);   // bucket [64,128)
+  slow.record(1u << 20);                           // one outlier
+  fast.merge(slow);
+  EXPECT_LE(fast.percentile(0.50), 127u);
+  EXPECT_LE(fast.percentile(0.98), 127u);
+  EXPECT_GT(fast.percentile(1.0), 1u << 20);
 }
 
 TEST(LatencyHistogramTest, MergeIsOrderFree) {

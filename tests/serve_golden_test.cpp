@@ -1,0 +1,113 @@
+// Golden-answer suite for plt-serve: the full set of support, membership,
+// top-k and rule answers over the paper's Table 1 database, queried through
+// the real daemon + wire protocol at EVERY support threshold (minsup 1..7),
+// rendered as one deterministic text document and byte-compared against the
+// committed fixture tests/golden/serve_table1.txt. The document is rendered
+// once per kernel backend (scalar, and the best SIMD tier the CPU supports)
+// and must be byte-identical across them — the serving answers may not
+// depend on which decode kernel ran.
+//
+// PLT_UPDATE_GOLDEN=1 rewrites the fixture (review the diff!).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/kernels.hpp"
+#include "serve_test_support.hpp"
+
+#ifndef PLT_SERVE_GOLDEN_DIR
+#define PLT_SERVE_GOLDEN_DIR "."
+#endif
+
+namespace plt::serve {
+namespace {
+
+using plt::testing::TestServer;
+using plt::testing::write_table1_blob;
+
+/// All answers for one minsup, through the wire.
+void render_minsup(std::ostream& out, Count minsup) {
+  const std::string blob = write_table1_blob(
+      minsup, "golden_minsup" + std::to_string(minsup) + ".plt");
+  TestServer server({blob});
+  QueryClient client(server.port());
+
+  out << "== minsup " << minsup << " ==\n";
+  out << "empty-support " << client.support(0, std::vector<Rank>{}) << '\n';
+  // Every non-empty subset of ranks 1..6 (rank 5/6 fall outside the
+  // alphabet at most thresholds: support 0, absent).
+  for (std::uint32_t mask = 1; mask < 64; ++mask) {
+    std::vector<Rank> ranks;
+    for (Rank rank = 1; rank <= 6; ++rank)
+      if ((mask >> (rank - 1)) & 1u) ranks.push_back(rank);
+    out << "support";
+    for (const Rank rank : ranks) out << ' ' << rank;
+    out << " = " << client.support(0, ranks) << '\n';
+    const Response membership = client.membership(0, ranks);
+    out << "member";
+    for (const Rank rank : ranks) out << ' ' << rank;
+    out << " = " << (membership.member ? "yes" : "no") << ' '
+        << membership.support << '\n';
+  }
+  out << "topk";
+  for (const TopEntry& entry : client.top_k(0, 10))
+    out << ' ' << entry.rank << ':' << entry.support;
+  out << '\n';
+  for (const Rank antecedent : {1u, 2u, 3u}) {
+    for (const Rank consequent : {1u, 2u, 3u, 4u}) {
+      if (consequent == antecedent) continue;
+      const Response rule =
+          client.rule(0, std::vector<Rank>{antecedent}, consequent);
+      out << "rule " << antecedent << "->" << consequent << " = "
+          << rule.support << '/' << rule.antecedent_support << " ppm "
+          << rule.confidence_ppm << '\n';
+    }
+  }
+}
+
+std::string render_document() {
+  std::ostringstream out;
+  out << "plt-serve golden answers, Table 1 (items A..F = ranks by id)\n";
+  for (Count minsup = 1; minsup <= 7; ++minsup) render_minsup(out, minsup);
+  return out.str();
+}
+
+void expect_matches_golden(const std::string& actual, const char* name) {
+  const std::string path = std::string(PLT_SERVE_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("PLT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — regenerate with PLT_UPDATE_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << " (PLT_UPDATE_GOLDEN=1 rewrites it if the change is intended)";
+}
+
+TEST(ServeGolden, AllThresholdsMatchFixtureOnEveryBackend) {
+  const kernels::Backend original = kernels::active().backend;
+
+  ASSERT_TRUE(kernels::set_backend(kernels::Backend::kScalar));
+  const std::string scalar_doc = render_document();
+  expect_matches_golden(scalar_doc, "serve_table1.txt");
+
+  const kernels::Backend best = kernels::best_supported();
+  if (best != kernels::Backend::kScalar) {
+    ASSERT_TRUE(kernels::set_backend(best));
+    const std::string simd_doc = render_document();
+    EXPECT_EQ(simd_doc, scalar_doc)
+        << "serving answers diverged between scalar and "
+        << kernels::backend_name(best);
+  }
+  kernels::set_backend(original);
+}
+
+}  // namespace
+}  // namespace plt::serve

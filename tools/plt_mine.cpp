@@ -9,6 +9,8 @@
 //             --contains "1 2 3"         itemsets containing these items
 //             --rules --minconf C        association rules
 //             --serialize OUT.plt        write the varint-encoded PLT
+//             --emit-blob OUT.plt        alias of --serialize (plt-serve
+//                                        quick-start wording)
 //             --stats                    dataset statistics only
 // Output:     --output text|csv (default text), --limit N (rows shown)
 // Tracing:    --trace FILE               span-tree JSON for the whole run
@@ -47,7 +49,8 @@ int usage(const char* argv0) {
       << "  [--minsup N | --minsup-frac F] [--algorithm NAME|all]\n"
       << "  [--closed] [--closed-native] [--maximal] [--top-k K]\n"
       << "  [--contains \"ITEMS\"]\n"
-      << "  [--rules [--minconf C]] [--serialize FILE] [--stats]\n"
+      << "  [--rules [--minconf C]] [--serialize FILE | --emit-blob FILE]\n"
+      << "  [--stats]\n"
       << "  [--output text|csv] [--limit N] [--scale S]\n"
       << "  [--backend scalar|sse42|avx2|simd|auto] [--plan fixed|adaptive]\n"
       << "  [--validate] [--trace FILE] [--trace-folded FILE]\n"
@@ -237,19 +240,22 @@ int main(int argc, char** argv) {
     print_itemsets(result.itemsets, format, limit);
   }
 
-  if (args.has("serialize")) {
+  if (args.has("serialize") || args.has("emit-blob")) {
+    const std::string out_path = args.has("serialize")
+                                     ? args.get("serialize", "")
+                                     : args.get("emit-blob", "");
     const auto built = core::build_from_database(db, minsup);
     const auto blob = compress::encode_plt(built.plt);
     // Atomic write (tmp + fsync + rename): a crash mid-serialize never
     // leaves a torn blob where a previous good one stood.
     try {
-      compress::write_blob_file(blob, args.get("serialize", ""));
+      compress::write_blob_file(blob, out_path);
     } catch (const std::exception& error) {
       std::cerr << "error: " << error.what() << '\n';
       return 1;
     }
-    std::cerr << "PLT serialized: " << blob.size() << " bytes -> "
-              << args.get("serialize", "") << '\n';
+    std::cerr << "PLT serialized: " << blob.size() << " bytes -> " << out_path
+              << '\n';
   }
   return 0;
 }
