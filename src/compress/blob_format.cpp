@@ -57,6 +57,7 @@ BlobHeader read_blob_header(std::span<const std::uint8_t> blob,
 
   if (header.version == 2) {
     const std::uint32_t stored = read_u32le(blob, offset, who);
+    PLT_ASSERT(offset <= blob.size(), "varint cursor stays in the blob");
     const std::uint32_t actual = crc32c(blob.subspan(4, offset - 4));
     note_crc32c_verification();
     if (stored != actual) fail(who, "header checksum mismatch");
@@ -145,6 +146,8 @@ void decode_blob_entry(std::span<const std::uint8_t> blob,
     throw std::runtime_error("decode_blob_entry: truncated block entry");
   obs::count_kernel("kernel.decode_varint_block.calls",
                     "kernel.decode_varint_block.bytes", consumed);
+  // length sizes v (the decode's *output* count, fixed by the resize
+  // above); it is not produced by the call. plt-lint: allow(taint-bounds)
   freq = static_cast<Count>(v[length]) |
          (static_cast<Count>(v[length + 1]) << 32);
   v.resize(length);

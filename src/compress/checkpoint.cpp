@@ -52,6 +52,8 @@ bool parse_record(std::span<const std::uint8_t> bytes, std::size_t& offset,
       record.itemsets.emplace_back(std::move(items), support);
     }
     const std::uint32_t stored = read_u32le(bytes, cursor, "checkpoint");
+    PLT_ASSERT(offset <= cursor && cursor <= bytes.size(),
+               "varint cursor stays between record start and buffer end");
     const std::uint32_t actual =
         crc32c(bytes.subspan(offset, cursor - offset));
     note_crc32c_verification();
@@ -102,6 +104,7 @@ bool read_checkpoint(const std::string& path, std::uint32_t blob_crc,
     const std::uint64_t stored_minsup = get_varint(bytes, offset);
     const std::uint64_t stored_max_rank = get_varint(bytes, offset);
     const std::uint32_t header_crc = read_u32le(bytes, offset, "checkpoint");
+    PLT_ASSERT(offset <= bytes.size(), "varint cursor stays in the buffer");
     const std::uint32_t actual =
         crc32c(std::span<const std::uint8_t>(bytes).subspan(4, offset - 4));
     note_crc32c_verification();

@@ -11,7 +11,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace plt::obs {
 
@@ -117,20 +118,23 @@ class ThreadTrace {
 class TraceCollectorImpl {
  public:
   ThreadTrace* register_thread() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     threads_.push_back(std::make_unique<ThreadTrace>());
     return threads_.back().get();
   }
 
   template <typename Fn>
   void for_each_thread(Fn&& fn) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& t : threads_) fn(*t);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadTrace>> threads_;
+  mutable Mutex mutex_;
+  // The registry itself is guarded; the ThreadTraces it owns are not —
+  // each is mutated only by its owning thread, and aggregation reads them
+  // after the workers joined (see the file comment).
+  std::vector<std::unique_ptr<ThreadTrace>> threads_ PLT_GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -21,9 +21,15 @@ namespace {
 // Per-worker claim window over the rank index space. Owners and thieves both
 // claim through the atomic cursor, so an index is mined by exactly one
 // worker. alignas keeps adjacent windows off one cache line.
+//
+// Concurrency contract (no mutex anywhere on this path): `next` is the only
+// cross-thread-mutable field; `end` is written before the crew spawns and
+// is read-only afterwards, published by the happens-before of thread
+// creation. Relaxed ordering suffices because claiming an index transfers
+// no data — the partitions and result slots it names are owned per-index.
 struct alignas(64) ClaimWindow {
   std::atomic<std::size_t> next{0};
-  std::size_t end = 0;
+  std::size_t end = 0;  ///< const after crew start; no atomicity needed
 };
 
 core::MineResult mine_parallel_impl(const tdb::Database& db,
@@ -140,6 +146,9 @@ core::MineResult mine_parallel_impl(const tdb::Database& db,
     if (latency != nullptr) latency->record_seconds(timer->seconds());
   };
 
+  // worker_stats[w] / worker_errors[w] are written only by worker w and
+  // read only after the join — per-slot ownership, published by join()'s
+  // happens-before, same discipline as per_rank above.
   std::vector<core::ProjectionStats> worker_stats(workers);
   // An injected fault (or any other exception) in one worker must not leak
   // out of its thread: it is captured, every worker winds down through the

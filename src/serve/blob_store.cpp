@@ -65,13 +65,13 @@ void BlobStore::load_initial() {
   auto set = std::make_shared<BlobSet>();
   set->generation = 1;
   for (const std::string& path : paths_) set->blobs.push_back(load_blob(path));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   current_ = std::move(set);
   generation_ = 1;
 }
 
 std::shared_ptr<const BlobSet> BlobStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return current_;
 }
 
@@ -80,7 +80,7 @@ std::uint32_t BlobStore::reload() {
   // propagates to the caller and the current set keeps serving.
   auto set = std::make_shared<BlobSet>();
   for (const std::string& path : paths_) set->blobs.push_back(load_blob(path));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   set->generation = ++generation_;
   current_ = std::move(set);
   return generation_;

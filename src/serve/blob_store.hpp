@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "compress/index.hpp"
 #include "compress/mmap_blob.hpp"
 #include "serve/protocol.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plt::serve {
 
@@ -63,20 +63,20 @@ class BlobStore {
   void load_initial();
 
   /// The current generation; never null after load_initial().
-  std::shared_ptr<const BlobSet> snapshot() const;
+  std::shared_ptr<const BlobSet> snapshot() const PLT_EXCLUDES(mutex_);
 
   /// Builds the next generation from the same paths and swaps it in.
   /// Returns the new generation number; throws (keeping the old set
   /// serving) when any blob fails to load.
-  std::uint32_t reload();
+  std::uint32_t reload() PLT_EXCLUDES(mutex_);
 
   const std::vector<std::string>& paths() const { return paths_; }
 
  private:
   std::vector<std::string> paths_;
-  mutable std::mutex mutex_;
-  std::shared_ptr<const BlobSet> current_;
-  std::uint32_t generation_ = 0;
+  mutable Mutex mutex_;
+  std::shared_ptr<const BlobSet> current_ PLT_GUARDED_BY(mutex_);
+  std::uint32_t generation_ PLT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace plt::serve

@@ -14,6 +14,10 @@ std::optional<Response> QueryClient::read_response() {
   if (!read_exact(fd_.get(), prefix, sizeof(prefix))) return std::nullopt;
   std::uint32_t length = 0;
   std::memcpy(&length, prefix, sizeof(length));
+  // Same cap the server enforces on request frames: a corrupt or hostile
+  // length prefix must not drive an unbounded allocation.
+  if (length > kDefaultMaxFrame)
+    throw SocketError("response frame length exceeds protocol limit");
   std::vector<std::uint8_t> payload(length);
   if (length > 0 && !read_exact(fd_.get(), payload.data(), payload.size()))
     throw SocketError("connection closed mid-frame");

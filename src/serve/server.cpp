@@ -10,7 +10,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 
@@ -18,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "serve/query_engine.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plt::serve {
 
@@ -152,18 +152,23 @@ struct Server::Worker {
   Fd wake;
   std::thread thread;
 
-  std::mutex inbox_mutex;
-  std::vector<int> inbox;
+  // Crossed by the acceptor thread: freshly accepted fds parked until the
+  // worker adopts them at the top of its tick.
+  Mutex inbox_mutex;
+  std::vector<int> inbox PLT_GUARDED_BY(inbox_mutex);
 
-  mutable std::mutex stats_mutex;
-  StatsSnapshot::PerClass per_class[kOpcodeCount];
-  std::uint64_t connections = 0;
-  std::uint64_t disconnects = 0;
-  std::uint64_t protocol_errors = 0;
-  std::uint64_t overloaded = 0;
-  std::uint64_t batches = 0;
-  std::uint64_t batched_requests = 0;
+  // Crossed by any worker answering a kStats request (Server::stats()
+  // walks every worker's tallies).
+  mutable Mutex stats_mutex;
+  StatsSnapshot::PerClass per_class[kOpcodeCount] PLT_GUARDED_BY(stats_mutex);
+  std::uint64_t connections PLT_GUARDED_BY(stats_mutex) = 0;
+  std::uint64_t disconnects PLT_GUARDED_BY(stats_mutex) = 0;
+  std::uint64_t protocol_errors PLT_GUARDED_BY(stats_mutex) = 0;
+  std::uint64_t overloaded PLT_GUARDED_BY(stats_mutex) = 0;
+  std::uint64_t batches PLT_GUARDED_BY(stats_mutex) = 0;
+  std::uint64_t batched_requests PLT_GUARDED_BY(stats_mutex) = 0;
 
+  // Worker-thread-only: never touched off the owning worker's loop.
   std::unordered_map<int, Connection> conns;
   std::vector<PendingRequest> pending;
 };
@@ -214,8 +219,9 @@ void Server::stop() {
   for (auto& worker : workers_) {
     if (worker->wake.valid()) {
       const std::uint64_t one = 1;
-      [[maybe_unused]] const ssize_t n =
-          ::write(worker->wake.get(), &one, sizeof(one));
+      if (::write(worker->wake.get(), &one, sizeof(one)) < 0)
+        log_warn() << "plt-serve: shutdown wake write failed: "
+                   << std::strerror(errno);
     }
     if (worker->thread.joinable()) worker->thread.join();
   }
@@ -233,7 +239,7 @@ std::uint32_t Server::reload() {
 StatsSnapshot Server::stats() const {
   StatsSnapshot snapshot;
   for (const auto& worker : workers_) {
-    std::lock_guard<std::mutex> lock(worker->stats_mutex);
+    MutexLock lock(worker->stats_mutex);
     for (std::size_t op = 0; op < kOpcodeCount; ++op) {
       const StatsSnapshot::PerClass& from = worker->per_class[op];
       StatsSnapshot::PerClass& to = snapshot.per_class[op];
@@ -283,12 +289,15 @@ void Server::acceptor_loop() {
       Worker& worker = *workers_[next_worker_];
       next_worker_ = (next_worker_ + 1) % workers_.size();
       {
-        std::lock_guard<std::mutex> lock(worker.inbox_mutex);
+        MutexLock lock(worker.inbox_mutex);
         worker.inbox.push_back(client);
       }
       const std::uint64_t one = 1;
-      [[maybe_unused]] const ssize_t n =
-          ::write(worker.wake.get(), &one, sizeof(one));
+      // EAGAIN means the counter is already non-zero, so the worker is
+      // waking anyway; anything else is worth a diagnostic.
+      if (::write(worker.wake.get(), &one, sizeof(one)) < 0 &&
+          errno != EAGAIN)
+        log_warn() << "plt-serve: wake write failed: " << std::strerror(errno);
     }
   }
 }
@@ -307,7 +316,9 @@ void Server::worker_loop(Worker& worker) {
     epoll_event ev{};
     ev.events = EPOLLIN | (conn.want_write ? EPOLLOUT : 0u);
     ev.data.fd = fd;
-    (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_MOD, fd, &ev);
+    if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_MOD, fd, &ev) != 0)
+      log_warn() << "plt-serve: epoll_ctl(MOD) failed: "
+                 << std::strerror(errno);
   };
 
   auto close_connection = [&](int fd) {
@@ -317,7 +328,10 @@ void Server::worker_loop(Worker& worker) {
     const std::size_t unsent = it->second.out.size() - it->second.out_pos;
     if (unsent > 0)
       in_flight_bytes_.fetch_sub(unsent, std::memory_order_relaxed);
-    (void)::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, fd, nullptr);
+    if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+        errno != ENOENT)
+      log_warn() << "plt-serve: epoll_ctl(DEL) failed: "
+                 << std::strerror(errno);
     worker.conns.erase(it);
   };
 
@@ -362,7 +376,7 @@ void Server::worker_loop(Worker& worker) {
       response = make_error(request.opcode, request.request_id,
                             Status::kOverloaded,
                             "in-flight memory budget exhausted");
-      std::lock_guard<std::mutex> lock(worker.stats_mutex);
+      MutexLock lock(worker.stats_mutex);
       ++worker.overloaded;
     } else {
       const std::uint32_t deadline_ms = request.deadline_ms != 0
@@ -387,7 +401,7 @@ void Server::worker_loop(Worker& worker) {
     if (response.status == Status::kDeadlineExceeded)
       PLT_TRACE_COUNT("serve.deadline-exceeded", 1);
     {
-      std::lock_guard<std::mutex> lock(worker.stats_mutex);
+      MutexLock lock(worker.stats_mutex);
       StatsSnapshot::PerClass& c =
           worker.per_class[static_cast<std::size_t>(request.opcode)];
       ++c.requests;
@@ -406,7 +420,7 @@ void Server::worker_loop(Worker& worker) {
     {
       std::vector<int> adopted;
       {
-        std::lock_guard<std::mutex> lock(worker.inbox_mutex);
+        MutexLock lock(worker.inbox_mutex);
         adopted.swap(worker.inbox);
       }
       for (const int fd : adopted) {
@@ -418,7 +432,7 @@ void Server::worker_loop(Worker& worker) {
         if (::epoll_ctl(worker.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
           continue;  // conn.fd closes it on scope exit
         worker.conns.emplace(fd, std::move(conn));
-        std::lock_guard<std::mutex> lock(worker.stats_mutex);
+        MutexLock lock(worker.stats_mutex);
         ++worker.connections;
       }
     }
@@ -431,8 +445,10 @@ void Server::worker_loop(Worker& worker) {
       const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
       if (fd == worker.wake.get()) {
         std::uint64_t drain = 0;
-        [[maybe_unused]] const ssize_t n =
-            ::read(worker.wake.get(), &drain, sizeof(drain));
+        if (::read(worker.wake.get(), &drain, sizeof(drain)) < 0 &&
+            errno != EAGAIN)
+          log_warn() << "plt-serve: wake drain failed: "
+                     << std::strerror(errno);
         continue;
       }
       auto it = worker.conns.find(fd);
@@ -482,7 +498,7 @@ void Server::worker_loop(Worker& worker) {
                                    "declared frame length exceeds limit"));
           conn.close_after_flush = true;
           fatal = true;
-          std::lock_guard<std::mutex> lock(worker.stats_mutex);
+          MutexLock lock(worker.stats_mutex);
           ++worker.protocol_errors;
           break;
         }
@@ -497,7 +513,7 @@ void Server::worker_loop(Worker& worker) {
                                  std::string("request rejected: ") +
                                      to_string(status)));
         {
-          std::lock_guard<std::mutex> lock(worker.stats_mutex);
+          MutexLock lock(worker.stats_mutex);
           ++worker.protocol_errors;
         }
         if (status == Status::kBadMagic || status == Status::kBadVersion) {
@@ -515,7 +531,7 @@ void Server::worker_loop(Worker& worker) {
       if (peer_closed) {
         if (!conn.in.empty()) {
           // Mid-request disconnect: a partial frame was abandoned.
-          std::lock_guard<std::mutex> lock(worker.stats_mutex);
+          MutexLock lock(worker.stats_mutex);
           ++worker.disconnects;
         }
         dead.push_back(fd);
@@ -543,7 +559,7 @@ void Server::worker_loop(Worker& worker) {
         }
         execute(it->second, item.request, *snapshot);
       }
-      std::lock_guard<std::mutex> lock(worker.stats_mutex);
+      MutexLock lock(worker.stats_mutex);
       worker.batches += groups;
       worker.batched_requests += grouped_requests;
     }

@@ -115,17 +115,19 @@ class Server {
   void worker_loop(Worker& worker);
 
   ServerOptions options_;
-  BlobStore store_;
+  BlobStore store_;  // generation swap guarded inside (see blob_store.hpp)
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<int>* reload_flag_ = nullptr;
+  std::atomic<int>* reload_flag_ = nullptr;  ///< written by signal handler
+  /// Global budget accounting: charged on enqueue, discharged on flush,
+  /// by every worker thread — relaxed ordering, the budget is advisory.
   std::atomic<std::size_t> in_flight_bytes_{0};
   std::atomic<std::uint64_t> reloads_{0};
-  std::uint16_t port_ = 0;
+  std::uint16_t port_ = 0;  ///< written once in start(), before threads
   Fd listen_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
-  std::size_t next_worker_ = 0;
+  std::size_t next_worker_ = 0;  ///< acceptor-thread-only round-robin state
 };
 
 }  // namespace plt::serve

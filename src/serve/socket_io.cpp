@@ -116,6 +116,8 @@ Fd connect_tcp(std::uint16_t port) {
     fail("connect");
   }
   const int one = 1;
+  // Best-effort latency knob: a kernel that refuses TCP_NODELAY still
+  // serves correctly, just slower. plt-lint: allow(syscall-check)
   (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }

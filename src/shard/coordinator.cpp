@@ -4,7 +4,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "core/planner.hpp"
 #include "tdb/stats.hpp"
 #include "util/crc32c.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 extern char** environ;
@@ -44,6 +47,8 @@ int default_spawn(const std::vector<std::string>& argv,
   const pid_t pid = ::fork();
   if (pid < 0) throw std::runtime_error("plt-shard: fork failed");
   if (pid == 0) {
+    // execvpe only returns on failure, and the unconditional _exit below
+    // is the handling. plt-lint: allow(syscall-check)
     ::execvpe(argv_ptrs[0], argv_ptrs.data(), env_ptrs.data());
     // exec failed; _exit avoids running the parent's atexit/streams state.
     ::_exit(127);
@@ -54,6 +59,11 @@ int default_spawn(const std::vector<std::string>& argv,
 // One shard's supervision state. The deadline control is per attempt: a
 // fresh MiningControl with attempt_timeout latched is created at launch,
 // and its should_stop() is the timeout detector in the poll loop.
+//
+// Concurrency contract: the coordinator is single-threaded — the slot
+// table is created, polled and mutated only on the run_workers() thread,
+// so there is no lock to annotate; cross-process coordination happens
+// through waitpid and the checkpoint files, not shared memory.
 struct WorkerSlot {
   ShardSpec spec;
   int pid = -1;
@@ -64,9 +74,15 @@ struct WorkerSlot {
 
 void kill_slot(WorkerSlot& slot) {
   if (slot.pid < 0) return;
-  ::kill(slot.pid, SIGKILL);
+  // ESRCH means the worker already exited; the blocking waitpid below
+  // still reaps it either way.
+  if (::kill(slot.pid, SIGKILL) != 0 && errno != ESRCH)
+    log_warn() << "plt-shard: kill(" << slot.pid
+               << ") failed: " << std::strerror(errno);
   int ignored = 0;
-  ::waitpid(slot.pid, &ignored, 0);
+  if (::waitpid(slot.pid, &ignored, 0) < 0)
+    log_warn() << "plt-shard: waitpid(" << slot.pid
+               << ") failed: " << std::strerror(errno);
   slot.pid = -1;
 }
 

@@ -41,9 +41,14 @@ void check_magic(std::span<const std::uint8_t> bytes, const char (&magic)[4],
 // the span of the protected payload (between magic and CRC).
 std::span<const std::uint8_t> checked_payload(
     std::span<const std::uint8_t> bytes, const char* who) {
+  // Guard the arithmetic below: on a 5..7-byte input `crc_at - 4` would
+  // wrap and the subspan would run off the buffer (callers do run
+  // check_magic first, but this function must be safe standalone).
+  if (bytes.size() < 8)
+    throw std::runtime_error(std::string(who) + ": truncated");
   const std::size_t crc_at = bytes.size() - 4;
-  const std::uint32_t stored = read_u32le(bytes, crc_at, who);
   const auto payload = bytes.subspan(4, crc_at - 4);
+  const std::uint32_t stored = read_u32le(bytes, crc_at, who);
   note_crc32c_verification();
   if (crc32c(payload) != stored)
     throw std::runtime_error(std::string(who) + ": CRC mismatch");

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace plt {
 
@@ -34,8 +35,8 @@ struct FailpointRegistry::Impl {
   // armed, which is the permanent state of production processes.
   std::atomic<std::size_t> armed_count{0};
   std::atomic<std::uint64_t> total_hits{0};
-  mutable std::mutex mutex;
-  std::unordered_map<std::string, Point> points;
+  mutable Mutex mutex;
+  std::unordered_map<std::string, Point> points PLT_GUARDED_BY(mutex);
 };
 
 // The singleton is intentionally leaked (never destroyed) so failpoints
@@ -52,7 +53,7 @@ FailpointRegistry& FailpointRegistry::instance() {
 }
 
 void FailpointRegistry::arm(std::string_view name, const Spec& spec) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   Impl::Point point;
   point.spec = spec;
   point.rng_state = spec.seed ^ 0x5bf03635f0a5b5d5ULL;
@@ -64,31 +65,31 @@ void FailpointRegistry::arm(std::string_view name, const Spec& spec) {
 }
 
 void FailpointRegistry::disarm(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   if (impl_->points.erase(std::string(name)) > 0)
     impl_->armed_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FailpointRegistry::disarm_all() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->armed_count.fetch_sub(impl_->points.size(),
                                std::memory_order_relaxed);
   impl_->points.clear();
 }
 
 bool FailpointRegistry::armed(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->points.count(std::string(name)) > 0;
 }
 
 std::uint64_t FailpointRegistry::evaluations(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const auto it = impl_->points.find(std::string(name));
   return it == impl_->points.end() ? 0 : it->second.evaluations;
 }
 
 std::uint64_t FailpointRegistry::hits(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const auto it = impl_->points.find(std::string(name));
   return it == impl_->points.end() ? 0 : it->second.hits;
 }
@@ -101,7 +102,7 @@ void FailpointRegistry::evaluate(std::string_view name) {
   if (impl_->armed_count.load(std::memory_order_relaxed) == 0) return;
   bool fire = false;
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     const auto it = impl_->points.find(std::string(name));
     if (it == impl_->points.end()) return;
     Impl::Point& point = it->second;

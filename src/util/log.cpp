@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace plt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+// Serialises whole lines onto stderr; no data is guarded, only the
+// interleaving of fprintf calls, so there is no PLT_GUARDED_BY target.
+Mutex g_mutex;
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -25,7 +28,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[plt %-5s] %s\n", level_name(level), msg.c_str());
 }
 

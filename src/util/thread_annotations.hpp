@@ -1,0 +1,90 @@
+#pragma once
+
+// Clang Thread Safety Analysis wiring (DESIGN.md S28).
+//
+// libstdc++'s std::mutex carries no capability attributes, so analysis
+// over code that locks it directly sees nothing. plt::Mutex below is a
+// zero-overhead annotated wrapper (the Abseil pattern): members guarded
+// by a Mutex are declared PLT_GUARDED_BY(mutex_), functions that expect
+// the caller to hold it are PLT_REQUIRES(mutex_), and a clang build with
+// -Wthread-safety (the clang-thread-safety CI job, with PLT_WERROR=ON)
+// rejects any access path that does not provably hold the capability.
+// Under gcc every macro expands to nothing and Mutex is an inline
+// pass-through over std::mutex.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define PLT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PLT_THREAD_ANNOTATION(x)
+#endif
+
+// Declares a type to be a capability ("mutex" in diagnostics).
+#define PLT_CAPABILITY(x) PLT_THREAD_ANNOTATION(capability(x))
+// Declares an RAII type that acquires on construction, releases on
+// destruction.
+#define PLT_SCOPED_CAPABILITY PLT_THREAD_ANNOTATION(scoped_lockable)
+// Data members: which lock protects them.
+#define PLT_GUARDED_BY(x) PLT_THREAD_ANNOTATION(guarded_by(x))
+#define PLT_PT_GUARDED_BY(x) PLT_THREAD_ANNOTATION(pt_guarded_by(x))
+// Functions: locks they take, need, or must not hold on entry.
+#define PLT_ACQUIRE(...) \
+  PLT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PLT_RELEASE(...) \
+  PLT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PLT_TRY_ACQUIRE(...) \
+  PLT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PLT_REQUIRES(...) \
+  PLT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PLT_EXCLUDES(...) PLT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PLT_RETURN_CAPABILITY(x) PLT_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch for functions the analysis cannot follow (thread entry
+// points that inherit a lock, intentionally racy diagnostics).
+#define PLT_NO_THREAD_SAFETY_ANALYSIS \
+  PLT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace plt {
+
+// Annotated mutex. BasicLockable, so it composes with
+// std::condition_variable_any (std::condition_variable insists on
+// std::unique_lock<std::mutex>, which would bypass the capability).
+class PLT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLT_ACQUIRE() { mutex_.lock(); }
+  void unlock() PLT_RELEASE() { mutex_.unlock(); }
+  bool try_lock() PLT_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII lock for plt::Mutex, visible to the analysis as a scoped
+// capability. `wait` mirrors absl::CondVar::Wait: the capability is
+// treated as held across the wait even though the condition variable
+// releases and reacquires it internally (those transitions happen inside
+// unannotated std:: code the analysis does not look into).
+class PLT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PLT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() PLT_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  template <typename Predicate>
+  void wait(std::condition_variable_any& cv, Predicate predicate) {
+    cv.wait(mutex_, predicate);
+  }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace plt

@@ -13,7 +13,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -24,8 +24,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      lock.wait(cv_, [this]() PLT_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -33,7 +35,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -41,8 +43,10 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  lock.wait(idle_cv_, [this]() PLT_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 }  // namespace plt

@@ -7,12 +7,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/failpoint.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace plt {
 
@@ -41,7 +41,7 @@ class ThreadPool {
         });
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -49,18 +49,20 @@ class ThreadPool {
   }
 
   /// Blocks until the queue is empty and all workers are idle.
-  void wait_idle();
+  void wait_idle() PLT_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() PLT_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ PLT_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  // condition_variable_any: the annotated Mutex is BasicLockable but not a
+  // std::mutex, which is all std::condition_variable accepts.
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
+  std::size_t active_ PLT_GUARDED_BY(mutex_) = 0;
+  bool stop_ PLT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace plt

@@ -1,0 +1,93 @@
+// taint-bounds fixture (S28): a value produced by a decode/parse/read
+// call — or filled in as a Reader-accessor out-parameter — is tainted and
+// must pass a bounds check (PLT_ASSERT, branch, std::min/clamp, direct
+// comparison) before indexing or sizing anything. The rule is
+// flow-sensitive in stream order, so a check AFTER the use still fires.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define PLT_ASSERT(cond, msg) ((void)0)
+
+namespace fixture {
+
+std::uint32_t parse_u32(const std::uint8_t* wire, std::size_t& cursor);
+
+struct Reader {
+  const std::uint8_t* bytes;
+  std::size_t pos;
+  bool u16(std::uint16_t& out);
+};
+
+std::uint32_t use_before_check(const std::uint8_t* wire,
+                               const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t slot = parse_u32(wire, cursor);
+  // EXPECT(taint-bounds)
+  return table[slot];
+}
+
+std::vector<std::uint8_t> sized_from_wire(const std::uint8_t* wire) {
+  std::size_t cursor = 0;
+  const std::uint32_t count = parse_u32(wire, cursor);
+  std::vector<std::uint8_t> out;
+  // EXPECT(taint-bounds)
+  out.resize(count);
+  return out;
+}
+
+std::uint32_t check_too_late(const std::uint8_t* wire, std::size_t n,
+                             const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t slot = parse_u32(wire, cursor);
+  // EXPECT(taint-bounds)
+  const std::uint32_t value = table[slot];
+  if (slot >= n) return 0;
+  return value;
+}
+
+// The branch checks the CALL's success, not the out-parameter's bounds:
+// rank stays tainted through the condition.
+std::uint16_t out_param_stays_tainted(Reader& reader,
+                                      const std::uint16_t* table) {
+  std::uint16_t rank = 0;
+  if (!reader.u16(rank)) return 0;
+  // EXPECT(taint-bounds)
+  return table[rank];
+}
+
+std::uint32_t branch_checked(const std::uint8_t* wire, std::size_t n,
+                             const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t slot = parse_u32(wire, cursor);
+  if (slot >= n) return 0;
+  return table[slot];
+}
+
+std::uint32_t assert_checked(const std::uint8_t* wire, std::size_t n,
+                             const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t slot = parse_u32(wire, cursor);
+  PLT_ASSERT(slot < n, "slot decoded in range");
+  return table[slot];
+}
+
+std::uint32_t clamped(const std::uint8_t* wire, std::size_t n,
+                      const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t want = parse_u32(wire, cursor);
+  const std::size_t take = std::min<std::size_t>(want, n - 1);
+  return table[take];
+}
+
+std::uint32_t vetted_elsewhere(const std::uint8_t* wire,
+                               const std::uint32_t* table) {
+  std::size_t cursor = 0;
+  const std::uint32_t slot = parse_u32(wire, cursor);
+  // The dispatcher validated slot before handing the frame to this
+  // helper (see the routing table). plt-lint: allow(taint-bounds)
+  return table[slot];
+}
+
+}  // namespace fixture

@@ -1,0 +1,62 @@
+// syscall-check fixture (S28): raw globally-qualified syscall returns in
+// the serve/shard layers must be consumed — assigned, branched on,
+// compared, or returned. Statement position and bare (void) discards need
+// a reviewed allow() pragma. Unqualified method calls are out of scope.
+#include <cstddef>
+
+extern "C" {
+long read(int fd, void* buf, unsigned long n);
+long write(int fd, const void* buf, unsigned long n);
+int accept(int fd, void* addr, void* len);
+int epoll_ctl(int ep, int op, int fd, void* ev);
+int setsockopt(int fd, int level, int name, const void* val,
+               unsigned int len);
+}
+
+namespace fixture {
+
+void fire_and_forget(int fd, const void* buf) {
+  // EXPECT(syscall-check)
+  ::write(fd, buf, 1);
+}
+
+void cast_away(int ep, int fd, void* ev) {
+  // EXPECT(syscall-check)
+  (void)::epoll_ctl(ep, 1, fd, ev);
+}
+
+void vetted_discard(int fd, const int* one) {
+  // Best-effort socket knob; failure downgrades latency, never
+  // correctness. plt-lint: allow(syscall-check)
+  (void)::setsockopt(fd, 6, 1, one, sizeof(*one));
+}
+
+long assigned(int fd, void* buf, std::size_t n) {
+  const long got = ::read(fd, buf, n);
+  if (got < 0) return 0;
+  return got;
+}
+
+int branch_checked(int ep, int fd, void* ev) {
+  if (::epoll_ctl(ep, 3, fd, ev) != 0) return -1;
+  return 0;
+}
+
+int returned(int fd) { return ::accept(fd, nullptr, nullptr); }
+
+int compared_after(int fd, void* buf, std::size_t n) {
+  while (::read(fd, buf, n) > 0) {
+  }
+  return 0;
+}
+
+struct Channel {
+  long read(void* buf, std::size_t n);
+};
+
+long method_not_a_syscall(Channel& channel, void* buf) {
+  channel.read(buf, 4);
+  return 0;
+}
+
+}  // namespace fixture

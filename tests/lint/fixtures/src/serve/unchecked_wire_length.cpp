@@ -1,0 +1,40 @@
+// assert-untrusted-index fixture for the serve layer (S28): frame
+// decoders consume bytes straight off a TCP socket, so a decode function
+// that subscripts the wire without a PLT_ASSERT / bounds throw is the
+// classic unchecked wire-length bug.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#define PLT_ASSERT(cond, msg) ((void)0)
+
+namespace fixture {
+
+// EXPECT(assert-untrusted-index)
+std::uint32_t decode_frame_length(const std::uint8_t* wire, std::size_t n) {
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(wire[i]) << (8 * i);
+  return length + static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t decode_frame_length_checked(const std::uint8_t* wire,
+                                          std::size_t n) {
+  if (n < 4) throw std::runtime_error("short frame prefix");
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(wire[i]) << (8 * i);
+  return length;
+}
+
+std::uint8_t read_opcode(const std::uint8_t* wire, std::size_t n) {
+  PLT_ASSERT(n >= 6, "fixed header present");
+  return wire[5];
+}
+
+// Not a decode/read/parse name: subscripting is the caller's business.
+std::uint8_t frame_byte(const std::uint8_t* wire, std::size_t i) {
+  return wire[i];
+}
+
+}  // namespace fixture

@@ -1,0 +1,85 @@
+// typed-status fixture (S28): every catch handler in the serve/shard
+// layers sits on a failpoint-reachable error path (InjectedFault and
+// friends propagate by throw), so it must produce a typed outcome —
+// return a Status/MineStatus/error response, rethrow, return a value, or
+// at minimum log — never swallow the exception silently.
+#include <exception>
+#include <stdexcept>
+
+namespace fixture {
+
+enum class MineStatus { kCompleted, kFailed };
+
+int risky();
+void log_warn(const char* msg);
+
+int swallowed(int fallback) {
+  try {
+    return risky();
+  } catch (const std::exception&) {  // EXPECT(typed-status)
+  }
+  return fallback;
+}
+
+void bare_return_drop(int* out) {
+  try {
+    *out = risky();
+  } catch (...) {  // EXPECT(typed-status)
+    return;
+  }
+}
+
+bool flag_flip_only() {
+  bool ok = true;
+  try {
+    risky();
+  } catch (const std::exception&) {  // EXPECT(typed-status)
+    ok = false;
+  }
+  return ok;
+}
+
+MineStatus typed(int* out) {
+  try {
+    *out = risky();
+  } catch (const std::exception&) {
+    return MineStatus::kFailed;
+  }
+  return MineStatus::kCompleted;
+}
+
+int rethrown() {
+  try {
+    return risky();
+  } catch (const std::runtime_error&) {
+    throw;
+  }
+}
+
+void logged() {
+  try {
+    risky();
+  } catch (const std::exception&) {
+    log_warn("worker attempt failed; relaunching");
+  }
+}
+
+int value_returned(int fallback) {
+  try {
+    return risky();
+  } catch (...) {
+    return fallback;
+  }
+}
+
+void best_effort_probe() {
+  try {
+    risky();
+  }
+  // Liveness probe only; the outcome is the timeout that follows.
+  // plt-lint: allow(typed-status)
+  catch (...) {
+  }
+}
+
+}  // namespace fixture

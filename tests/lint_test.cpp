@@ -90,11 +90,23 @@ TEST(LintGolden, AssertUntrustedIndex) {
 TEST(LintGolden, AssertUntrustedIndexShard) {
   expect_golden("src/shard/unguarded_summary.cpp");
 }
+TEST(LintGolden, AssertUntrustedIndexServe) {
+  expect_golden("src/serve/unchecked_wire_length.cpp");
+}
 TEST(LintGolden, SpanRegistry) {
   expect_golden("src/core/unregistered_span.cpp");
 }
 TEST(LintGolden, NoBannedApis) {
   expect_golden("src/util/banned.cpp");
+}
+TEST(LintGolden, TaintBounds) {
+  expect_golden("src/serve/tainted_bounds.cpp");
+}
+TEST(LintGolden, SyscallCheck) {
+  expect_golden("src/serve/unchecked_syscall.cpp");
+}
+TEST(LintGolden, TypedStatus) {
+  expect_golden("src/shard/silent_catch.cpp");
 }
 
 TEST(LintGolden, RegistryFixtureParses) {
@@ -176,7 +188,8 @@ TEST(LintSuppressions, LineAndFileScopes) {
 TEST(LintRules, NamesAreStable) {
   const std::vector<std::string> expected = {
       "kernel-purity", "control-coverage", "assert-untrusted-index",
-      "span-registry", "no-banned-apis"};
+      "span-registry", "no-banned-apis",   "taint-bounds",
+      "syscall-check", "typed-status"};
   EXPECT_EQ(all_rules(), expected);
   for (const std::string& rule : expected) EXPECT_TRUE(is_rule(rule));
   EXPECT_FALSE(is_rule("nonsense"));
@@ -201,6 +214,42 @@ TEST(LintRules, PathScoping) {
   // Files outside src/ (tests, tools) are never linted for src contracts.
   config.rules = all_rules();
   EXPECT_TRUE(lint_file("tests/f.cpp", content, config).empty());
+}
+
+TEST(LintRules, FlowRulesScopedToIoLayers) {
+  // The same unchecked ::write is a finding in serve/shard and out of
+  // scope elsewhere (raw syscalls simply don't appear in the core).
+  const std::string content = "void f(int fd) { ::write(fd, \"x\", 1); }\n";
+  LintConfig config = fixture_config();
+  config.rules = {"syscall-check"};
+  EXPECT_EQ(lint_file("src/serve/w.cpp", content, config).size(), 1u);
+  EXPECT_EQ(lint_file("src/shard/w.cpp", content, config).size(), 1u);
+  EXPECT_TRUE(lint_file("src/core/w.cpp", content, config).empty());
+}
+
+TEST(LintRules, TaintBoundsIsFlowSensitive) {
+  // Identical code modulo one bounds branch: the check placed between
+  // taint (parse call) and use (subscript) is what flips the verdict.
+  LintConfig config = fixture_config();
+  config.rules = {"taint-bounds"};
+  const std::string checked =
+      "int f(const unsigned char* w, const int* t, unsigned n) {\n"
+      "  unsigned long c = 0;\n"
+      "  unsigned slot = parse_u32(w, c);\n"
+      "  if (slot >= n) return 0;\n"
+      "  return t[slot];\n"
+      "}\n";
+  const std::string unchecked =
+      "int f(const unsigned char* w, const int* t, unsigned n) {\n"
+      "  unsigned long c = 0;\n"
+      "  unsigned slot = parse_u32(w, c);\n"
+      "  return t[slot];\n"
+      "}\n";
+  EXPECT_TRUE(lint_file("src/serve/q.cpp", checked, config).empty());
+  const auto findings = lint_file("src/serve/q.cpp", unchecked, config);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "taint-bounds");
+  EXPECT_EQ(findings[0].line, 4u);
 }
 
 TEST(LintJson, EscapesAndSorts) {

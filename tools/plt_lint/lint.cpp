@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <map>
+#include <set>
+#include <utility>
 
 namespace plt::lint {
 
@@ -115,11 +118,12 @@ bool stream_word_at(const Chars& chars, std::size_t pos,
   return true;
 }
 
-/// Index of the char that closes the bracket opened at `open` ('(' or '{'),
-/// or npos when unbalanced. Skips string-literal chars.
+/// Index of the char that closes the bracket opened at `open` ('(', '{'
+/// or '['), or npos when unbalanced. Skips string-literal chars.
 std::size_t matching_close(const Chars& chars, std::size_t open) {
   const char open_char = chars.code[open];
-  const char close_char = open_char == '(' ? ')' : '}';
+  const char close_char =
+      open_char == '(' ? ')' : (open_char == '[' ? ']' : '}');
   int depth = 0;
   for (std::size_t i = open; i < chars.code.size(); ++i) {
     if (chars.in_string[i]) continue;
@@ -145,6 +149,144 @@ std::size_t find_stream_word(const Chars& chars, const std::string& word,
        pos != std::string::npos; pos = chars.code.find(word, pos + 1))
     if (stream_word_at(chars, pos, word)) return pos;
   return std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Per-function flow walker (DESIGN.md S28).
+//
+// The flow-sensitive rules (taint-bounds, syscall-check, typed-status)
+// share this layer: function bodies are discovered over the flattened
+// stream (identifier + parameter list + braced body, the same shape
+// assert-untrusted-index matches), and position in the stream stands in
+// for control flow — "checked before used" means "the check appears
+// earlier in the body". That over-approximates sanitization (a check on
+// any path counts) but never reorders taint, check and use, which is the
+// property the rules need. Deliberately token-level: no AST, the same
+// zero-dependency tradeoff as the rest of the linter.
+// ---------------------------------------------------------------------------
+
+/// Last non-whitespace code char strictly before `pos` (npos at BOF).
+std::size_t prev_nonspace(const Chars& chars, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(chars.code[pos])) == 0)
+      return pos;
+  }
+  return std::string::npos;
+}
+
+/// Keywords (and flow-control words) that can precede a '(' without being
+/// a function name, and that never name a data value.
+bool is_cpp_keyword(const std::string& name) {
+  static const char* const words[] = {
+      "alignas",  "alignof",   "auto",           "bool",
+      "break",    "case",      "catch",          "char",
+      "class",    "const",     "constexpr",      "const_cast",
+      "continue", "decltype",  "default",        "delete",
+      "do",       "double",    "dynamic_cast",   "else",
+      "enum",     "explicit",  "extern",         "false",
+      "final",    "float",     "for",            "friend",
+      "goto",     "if",        "inline",         "int",
+      "long",     "mutable",   "namespace",      "new",
+      "noexcept", "nullptr",   "operator",       "override",
+      "private",  "protected", "public",         "reinterpret_cast",
+      "return",   "short",     "signed",         "sizeof",
+      "static",   "static_assert",               "static_cast",
+      "struct",   "switch",    "template",       "this",
+      "throw",    "true",      "try",            "typedef",
+      "typename", "union",     "unsigned",       "using",
+      "virtual",  "void",      "volatile",       "while",
+  };
+  for (const char* w : words)
+    if (name == w) return true;
+  return false;
+}
+
+/// Given the ')' closing a parameter list, the '{' opening the attached
+/// body (skipping specifier words like const/noexcept/override), or npos
+/// when what follows is not a braced body (a call, a declaration, ...).
+std::size_t find_body_open(const Chars& chars, std::size_t params_close) {
+  for (std::size_t j = params_close + 1; j < chars.code.size(); ++j) {
+    if (chars.in_string[j]) continue;
+    const char c = chars.code[j];
+    if (c == '{') return j;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (is_ident_char(c)) continue;  // const / noexcept / override
+    return std::string::npos;        // ';' ',' ')' '=' ... — not a body
+  }
+  return std::string::npos;
+}
+
+/// Position of the '(' opening a call's argument list after an identifier
+/// ending at `ident_end`, looking through an explicit template argument
+/// list (`std::min<std::size_t>(...)`); npos when no call follows.
+std::size_t call_open(const Chars& chars, std::size_t ident_end) {
+  std::size_t pos = skip_space(chars, ident_end);
+  if (pos == std::string::npos) return std::string::npos;
+  if (chars.code[pos] == '<') {
+    int depth = 0;
+    for (; pos < chars.code.size(); ++pos) {
+      if (chars.in_string[pos]) continue;
+      if (chars.code[pos] == '<') ++depth;
+      if (chars.code[pos] == '>' && --depth == 0) break;
+    }
+    if (pos >= chars.code.size()) return std::string::npos;
+    pos = skip_space(chars, pos + 1);
+    if (pos == std::string::npos) return std::string::npos;
+  }
+  return chars.code[pos] == '(' ? pos : std::string::npos;
+}
+
+/// One function definition's extent in the stream.
+struct FlowFunction {
+  std::string name;
+  std::size_t body_open = 0;   ///< index of the '{'
+  std::size_t body_close = 0;  ///< index of the matching '}'
+};
+
+/// Every function definition in the stream. Lambdas and constructors with
+/// initializer lists don't match the shape and simply fall outside
+/// per-function analysis; nested matches (macro-then-brace) re-scan a
+/// sub-range, which callers dedup by (line, subject).
+std::vector<FlowFunction> find_flow_functions(const Chars& chars) {
+  std::vector<FlowFunction> fns;
+  const std::string& code = chars.code;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (chars.in_string[i] || !is_ident_char(code[i])) continue;
+    if (i > 0 && is_ident_char(code[i - 1])) continue;  // mid-identifier
+    std::size_t end = i;
+    while (end < code.size() && is_ident_char(code[end])) ++end;
+    const std::string name = code.substr(i, end - i);
+    i = end - 1;
+    if (is_cpp_keyword(name)) continue;
+    const std::size_t open = skip_space(chars, end);
+    if (open == std::string::npos || code[open] != '(') continue;
+    const std::size_t params_close = matching_close(chars, open);
+    if (params_close == std::string::npos) continue;
+    const std::size_t body_open = find_body_open(chars, params_close);
+    if (body_open == std::string::npos) continue;
+    const std::size_t body_close = matching_close(chars, body_open);
+    if (body_close == std::string::npos) continue;
+    FlowFunction fn;
+    fn.name = name;
+    fn.body_open = body_open;
+    fn.body_close = body_close;
+    fns.push_back(std::move(fn));
+  }
+  return fns;
+}
+
+/// A bracketed argument/condition extent in the stream: [begin, end).
+struct Extent {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool contains(std::size_t pos) const { return pos >= begin && pos < end; }
+};
+
+bool in_any(const std::vector<Extent>& extents, std::size_t pos) {
+  for (const Extent& e : extents)
+    if (e.contains(pos)) return true;
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -333,18 +475,7 @@ void check_assert_untrusted_index(const Chars& chars, const SourceText& text,
     if (open == std::string::npos || code[open] != '(') continue;
     const std::size_t params_close = matching_close(chars, open);
     if (params_close == std::string::npos) continue;
-    std::size_t body_open = std::string::npos;
-    for (std::size_t j = params_close + 1; j < code.size(); ++j) {
-      if (chars.in_string[j]) continue;
-      const char c = code[j];
-      if (c == '{') {
-        body_open = j;
-        break;
-      }
-      if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
-      if (is_ident_char(c)) continue;  // const / noexcept / override
-      break;                           // ';' ',' ')' '=' ... — not a body
-    }
+    const std::size_t body_open = find_body_open(chars, params_close);
     if (body_open == std::string::npos) continue;
     const std::size_t body_close = matching_close(chars, body_open);
     if (body_close == std::string::npos) continue;
@@ -542,6 +673,390 @@ void check_no_banned_apis(const SourceText& text,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: taint-bounds
+// ---------------------------------------------------------------------------
+//
+// Flow-sensitive upgrade of assert-untrusted-index. Inside each function,
+// a value produced by a decode/parse/read/get_varint-style call — or
+// filled in as an out-parameter of one, the Reader-accessor idiom — is
+// tainted. Using a tainted value as a subscript or as a length argument
+// (resize/reserve/subspan/substr/assign/memcpy/...) before any bounds
+// check (PLT_ASSERT, a branch condition, std::min/max/clamp, a direct
+// comparison, .at()) is a finding. Order is stream order per the walker's
+// contract above.
+
+/// Does `name`, called with `prev` as the char before it, produce
+/// untrusted data?
+bool is_taint_source(const std::string& name, char prev) {
+  if (is_untrusted_fn_name(name)) return true;
+  // Reader-style accessors fill their out-parameter from the wire:
+  // `reader.u16(count)` taints count.
+  if (prev == '.' &&
+      (name == "u8" || name == "u16" || name == "u32" || name == "u64"))
+    return true;
+  return false;
+}
+
+/// Words whose parenthesised extent counts as inspecting a value.
+bool is_check_word(const std::string& name) {
+  return name == "if" || name == "while" || name == "for" ||
+         name == "PLT_ASSERT" || name == "assert" || name == "min" ||
+         name == "max" || name == "clamp" || name == "at";
+}
+
+/// Calls whose arguments are lengths/counts — a tainted value here sizes
+/// a buffer or a copy, which is as dangerous as a raw subscript.
+bool is_length_sink(const std::string& name) {
+  return name == "resize" || name == "reserve" || name == "subspan" ||
+         name == "substr" || name == "assign" || name == "memcpy" ||
+         name == "memmove" || name == "memset" || name == "advance";
+}
+
+void check_taint_bounds(const Chars& chars, const SourceText& text,
+                        const Suppressions& suppressions,
+                        const std::string& file, std::vector<Finding>& out) {
+  const std::string& code = chars.code;
+  std::set<std::pair<std::size_t, std::string>> reported;
+  for (const FlowFunction& fn : find_flow_functions(chars)) {
+    // Pass A: collect the bracket extents that give identifiers meaning —
+    // taint-source argument lists, check extents, index/length extents —
+    // plus assignment targets of taint-source calls.
+    std::vector<Extent> source_args;
+    std::vector<Extent> check_args;
+    std::vector<Extent> index_args;
+    struct Event {
+      std::size_t pos;
+      int kind;  ///< 0 taint, 1 sanitize, 2 use — tie-break order at a pos
+      std::string name;
+    };
+    std::vector<Event> events;
+    for (std::size_t i = fn.body_open; i <= fn.body_close; ++i) {
+      if (chars.in_string[i]) continue;
+      const char c = code[i];
+      if (c == '[') {
+        // Subscript: '[' whose previous non-space char ends an expression
+        // (identifier, ')', ']'); excludes lambda captures & attributes.
+        const std::size_t back = prev_nonspace(chars, i);
+        if (back == std::string::npos || back < fn.body_open) continue;
+        const char prev = code[back];
+        if (!(is_ident_char(prev) || prev == ')' || prev == ']')) continue;
+        const std::size_t close = matching_close(chars, i);
+        if (close == std::string::npos || close > fn.body_close) continue;
+        index_args.push_back({i + 1, close});
+        continue;
+      }
+      if (!is_ident_char(c)) continue;
+      if (i > 0 && is_ident_char(code[i - 1])) continue;
+      std::size_t end = i;
+      while (end < code.size() && is_ident_char(code[end])) ++end;
+      const std::string name = code.substr(i, end - i);
+      const std::size_t name_pos = i;
+      i = end - 1;
+      const std::size_t open = call_open(chars, end);
+      if (open == std::string::npos) continue;
+      const std::size_t close = matching_close(chars, open);
+      if (close == std::string::npos || close > fn.body_close) continue;
+      const std::size_t bp = prev_nonspace(chars, name_pos);
+      const char prev = bp == std::string::npos ? '\0' : code[bp];
+      if (is_check_word(name)) {
+        check_args.push_back({open + 1, close});
+      } else if (is_length_sink(name)) {
+        // For the mem* trio only the final argument is the length; the
+        // pointer arguments are not sizes and must not count as uses.
+        std::size_t begin = open + 1;
+        if (name == "memcpy" || name == "memmove" || name == "memset") {
+          int depth = 0;
+          for (std::size_t j = open; j < close; ++j) {
+            if (chars.in_string[j]) continue;
+            const char cj = code[j];
+            if (cj == '(' || cj == '[' || cj == '{') ++depth;
+            if (cj == ')' || cj == ']' || cj == '}') --depth;
+            if (cj == ',' && depth == 1) begin = j + 1;
+          }
+        }
+        index_args.push_back({begin, close});
+      } else if (is_taint_source(name, prev)) {
+        source_args.push_back({open + 1, close});
+        // `len = decode_u32(p)` / `n = reader.u32(...)`: the assignment
+        // target is tainted too. Walk back over the object expression
+        // (reader. / obj->field:: chains) to the head, then look for '='.
+        std::size_t head = name_pos;
+        while (true) {
+          const std::size_t q = prev_nonspace(chars, head);
+          if (q == std::string::npos || q < fn.body_open) break;
+          std::size_t sep;
+          if (code[q] == '.') {
+            sep = q;
+          } else if (q > fn.body_open && code[q] == '>' &&
+                     code[q - 1] == '-') {
+            sep = q - 1;
+          } else if (q > fn.body_open && code[q] == ':' &&
+                     code[q - 1] == ':') {
+            sep = q - 1;
+          } else {
+            break;
+          }
+          const std::size_t r = prev_nonspace(chars, sep);
+          if (r == std::string::npos || !is_ident_char(code[r])) break;
+          std::size_t s = r;
+          while (s > fn.body_open && is_ident_char(code[s - 1])) --s;
+          head = s;
+        }
+        const std::size_t eq = prev_nonspace(chars, head);
+        if (eq != std::string::npos && eq >= fn.body_open &&
+            code[eq] == '=' &&
+            (eq == 0 || (code[eq - 1] != '=' && code[eq - 1] != '!' &&
+                         code[eq - 1] != '<' && code[eq - 1] != '>'))) {
+          const std::size_t t = prev_nonspace(chars, eq);
+          if (t != std::string::npos && is_ident_char(code[t])) {
+            std::size_t s = t;
+            while (s > fn.body_open && is_ident_char(code[s - 1])) --s;
+            events.push_back({name_pos, 0, code.substr(s, t + 1 - s)});
+          }
+        }
+      }
+    }
+
+    // Pass B: classify each standalone value identifier by the extents it
+    // sits in. Source-call arguments win over check extents (the check
+    // there is on the call's return, not the value's bounds).
+    for (std::size_t i = fn.body_open; i <= fn.body_close; ++i) {
+      if (chars.in_string[i] || !is_ident_char(code[i])) continue;
+      if (i > 0 && is_ident_char(code[i - 1])) continue;
+      std::size_t end = i;
+      while (end < code.size() && is_ident_char(code[end])) ++end;
+      const std::string name = code.substr(i, end - i);
+      const std::size_t pos = i;
+      i = end - 1;
+      if (std::isdigit(static_cast<unsigned char>(code[pos])) != 0) continue;
+      if (is_cpp_keyword(name) || is_check_word(name)) continue;
+      // Member accesses / qualified names track a different value; names
+      // followed by a call or an access are functions or objects, not the
+      // scalar the rule reasons about.
+      const std::size_t bp = prev_nonspace(chars, pos);
+      if (bp != std::string::npos) {
+        const char pc = code[bp];
+        if (pc == '.' || (pc == '>' && bp > 0 && code[bp - 1] == '-') ||
+            (pc == ':' && bp > 0 && code[bp - 1] == ':'))
+          continue;
+      }
+      const std::size_t np = skip_space(chars, end);
+      if (np != std::string::npos) {
+        const char nc = code[np];
+        if (nc == '(' || nc == '.' ||
+            (nc == '-' && np + 1 < code.size() && code[np + 1] == '>') ||
+            (nc == ':' && np + 1 < code.size() && code[np + 1] == ':'))
+          continue;
+      }
+      if (in_any(source_args, pos)) {
+        events.push_back({pos, 0, name});
+        continue;
+      }
+      if (in_any(check_args, pos)) {
+        events.push_back({pos, 1, name});
+        continue;
+      }
+      // A direct comparison (or modulo wrap) outside a branch also counts
+      // as inspecting the value: `ok = len <= cap;`, `idx % size`.
+      bool compared = false;
+      if (bp != std::string::npos) {
+        const char pc = code[bp];
+        if (pc == '<' || pc == '>' || pc == '%') compared = true;
+        if (pc == '=' && bp > 0 &&
+            (code[bp - 1] == '=' || code[bp - 1] == '!' ||
+             code[bp - 1] == '<' || code[bp - 1] == '>'))
+          compared = true;
+      }
+      if (np != std::string::npos) {
+        const char nc = code[np];
+        if (nc == '<' || nc == '>' || nc == '%') compared = true;
+        if ((nc == '=' || nc == '!') && np + 1 < code.size() &&
+            code[np + 1] == '=')
+          compared = true;
+      }
+      if (compared) {
+        events.push_back({pos, 1, name});
+        continue;
+      }
+      if (in_any(index_args, pos)) events.push_back({pos, 2, name});
+    }
+
+    // Replay in stream order: taint -> (sanitize | use).
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                if (a.pos != b.pos) return a.pos < b.pos;
+                return a.kind < b.kind;
+              });
+    std::map<std::string, int> state;  // 1 tainted, 2 sanitized
+    for (const Event& e : events) {
+      if (e.kind == 0) {
+        state[e.name] = 1;  // a fresh taint needs a fresh check
+        continue;
+      }
+      const auto it = state.find(e.name);
+      if (it == state.end() || it->second != 1) continue;
+      if (e.kind == 1) {
+        it->second = 2;
+        continue;
+      }
+      const std::size_t line = chars.line[e.pos];
+      if (reported.insert({line, e.name}).second)
+        add_finding(out, text, suppressions, file, line, "taint-bounds",
+                    "'" + e.name +
+                        "' comes from decoded/wire data and is used as an "
+                        "index or length before any bounds check "
+                        "(PLT_ASSERT, branch, or std::min/clamp)");
+      it->second = 2;  // one report per value per function
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: syscall-check
+// ---------------------------------------------------------------------------
+//
+// Raw syscalls (globally qualified, the repo's spelling: `::write`) must
+// have their return value consumed — assigned, compared, branched on,
+// passed along, or returned. A call in statement position, or a bare
+// `(void)` discard, is a finding unless an allow() pragma records the
+// reviewed decision (e.g. exec-never-returns, best-effort setsockopt).
+
+const char* const kCheckedSyscalls[] = {
+    "fork",   "execvpe",       "waitpid",    "kill",   "mmap",
+    "munmap", "epoll_ctl",     "epoll_create1",        "epoll_wait",
+    "poll",   "read",          "write",      "recv",   "send",
+    "accept", "accept4",       "eventfd",    "socket", "bind",
+    "listen", "connect",       "setsockopt", "getsockname",
+};
+
+void check_syscall_check(const Chars& chars, const SourceText& text,
+                         const Suppressions& suppressions,
+                         const std::string& file, std::vector<Finding>& out) {
+  const std::string& code = chars.code;
+  for (const char* sys : kCheckedSyscalls) {
+    const std::string word(sys);
+    for (std::size_t pos = find_stream_word(chars, word, 0);
+         pos != std::string::npos;
+         pos = find_stream_word(chars, word, pos + 1)) {
+      // Global qualification only: keeps methods (reader.read(...)) and
+      // namespace-qualified wrappers (io::read) out of scope.
+      if (pos < 2 || code[pos - 1] != ':' || code[pos - 2] != ':') continue;
+      if (pos >= 3 && is_ident_char(code[pos - 3])) continue;
+      const std::size_t open = skip_space(chars, pos + word.size());
+      if (open == std::string::npos || code[open] != '(') continue;
+      const std::size_t close = matching_close(chars, open);
+      // Consumed downstream: `::waitpid(...) < 0`, `... != 0`.
+      if (close != std::string::npos) {
+        const std::size_t after = skip_space(chars, close + 1);
+        if (after != std::string::npos) {
+          const char ac = code[after];
+          if (ac == '<' || ac == '>' ||
+              ((ac == '=' || ac == '!') && after + 1 < code.size() &&
+               code[after + 1] == '='))
+            continue;
+        }
+      }
+      // Consumed upstream: assignment/init, inside a condition or larger
+      // expression, or returned.
+      const std::size_t bp = prev_nonspace(chars, pos - 2);
+      bool discarded = false;
+      bool consumed = false;
+      if (bp != std::string::npos) {
+        const char pc = code[bp];
+        if (pc == '=' || pc == '(' || pc == ',' || pc == '!' || pc == '<' ||
+            pc == '>' || pc == '+' || pc == '-' || pc == '*' || pc == '/' ||
+            pc == '%' || pc == '?' || pc == ':' || pc == '&' || pc == '|' ||
+            pc == '^') {
+          consumed = true;
+        } else if (pc == ')') {
+          // `(void)::write(...)` — an explicit discard still needs the
+          // pragma; anything else ending in ')' is `if (...) ::write(...)`
+          // statement position.
+          const std::size_t q = prev_nonspace(chars, bp);
+          if (q != std::string::npos && q >= 3 &&
+              code.compare(q - 3, 4, "void") == 0) {
+            const std::size_t r = prev_nonspace(chars, q - 3);
+            if (r != std::string::npos && code[r] == '(') discarded = true;
+          }
+        } else if (is_ident_char(pc)) {
+          std::size_t s = bp;
+          while (s > 0 && is_ident_char(code[s - 1])) --s;
+          const std::string before = code.substr(s, bp + 1 - s);
+          if (before == "return" || before == "co_return") consumed = true;
+        }
+      }
+      if (consumed) continue;
+      add_finding(
+          out, text, suppressions, file, chars.line[pos], "syscall-check",
+          discarded
+              ? "'::" + word +
+                    "' return value is (void)-discarded; check it or keep "
+                    "the cast under a plt-lint: allow(syscall-check) pragma"
+              : "'::" + word +
+                    "' return value is ignored (check it, or (void)-discard "
+                    "under a plt-lint: allow(syscall-check) pragma)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: typed-status
+// ---------------------------------------------------------------------------
+//
+// Error paths reachable from a registered failpoint (InjectedFault and
+// friends propagate by throw) must stay typed: every catch handler in
+// scope has to produce a typed outcome — rethrow, return a value,
+// construct a Status/MineStatus/error response — or at minimum log the
+// event. A handler that swallows the exception silently (empty body, bare
+// `return;`, state flip only) is a finding.
+
+void check_typed_status(const Chars& chars, const SourceText& text,
+                        const Suppressions& suppressions,
+                        const std::string& file, std::vector<Finding>& out) {
+  const std::string& code = chars.code;
+  for (std::size_t pos = find_stream_word(chars, "catch", 0);
+       pos != std::string::npos;
+       pos = find_stream_word(chars, "catch", pos + 1)) {
+    const std::size_t open = skip_space(chars, pos + 5);
+    if (open == std::string::npos || code[open] != '(') continue;
+    const std::size_t params_close = matching_close(chars, open);
+    if (params_close == std::string::npos) continue;
+    const std::size_t body_open = skip_space(chars, params_close + 1);
+    if (body_open == std::string::npos || code[body_open] != '{') continue;
+    const std::size_t body_close = matching_close(chars, body_open);
+    if (body_close == std::string::npos) continue;
+
+    bool produces = false;
+    for (std::size_t j = body_open; j <= body_close && !produces; ++j) {
+      if (chars.in_string[j]) continue;
+      if (stream_word_at(chars, j, "throw") ||
+          stream_word_at(chars, j, "Status") ||
+          stream_word_at(chars, j, "MineStatus") ||
+          stream_word_at(chars, j, "make_error") ||
+          stream_word_at(chars, j, "deadline_response") ||
+          stream_word_at(chars, j, "log_warn") ||
+          stream_word_at(chars, j, "log_error") ||
+          stream_word_at(chars, j, "fail") ||
+          stream_word_at(chars, j, "abort") ||
+          stream_word_at(chars, j, "_exit"))
+        produces = true;
+      if (stream_word_at(chars, j, "return")) {
+        // Bare `return;` silently drops the error; only a returned value
+        // converts it into a typed outcome.
+        const std::size_t v = skip_space(chars, j + 6);
+        if (v != std::string::npos && code[v] != ';') produces = true;
+      }
+    }
+    if (!produces)
+      add_finding(out, text, suppressions, file, chars.line[pos],
+                  "typed-status",
+                  "catch handler swallows the error without producing a "
+                  "typed Status/response, rethrow, or diagnostic (failpoint "
+                  "error paths must stay typed)");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -551,7 +1066,8 @@ void check_no_banned_apis(const SourceText& text,
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> rules = {
       "kernel-purity",     "control-coverage", "assert-untrusted-index",
-      "span-registry",     "no-banned-apis",
+      "span-registry",     "no-banned-apis",   "taint-bounds",
+      "syscall-check",     "typed-status",
   };
   return rules;
 }
@@ -794,11 +1310,19 @@ std::vector<Finding> lint_file(const std::string& rel_path,
   const SourceText text = classify(content);
   const Suppressions suppressions = parse_suppressions(text);
 
-  // Scope decisions (documented in DESIGN.md S24): purity only inside the
-  // kernel layer; control/index contracts in the layers that own them;
-  // registry + banned APIs across all of src/.
+  // Scope decisions (documented in DESIGN.md S24, S28): purity only inside
+  // the kernel layer; the untrusted-input rules in the layers that decode
+  // bytes they did not produce (codecs, the on-disk DB readers, the shard
+  // exchange, the serve daemon's wire path); the I/O rules where raw
+  // syscalls and failpoint-reachable error paths live; registry + banned
+  // APIs across all of src/.
   const bool in_src = under(rel_path, "src/");
   const bool in_kernels = under(rel_path, "src/kernels/");
+  const bool untrusted_scope =
+      under(rel_path, "src/compress/") || under(rel_path, "src/tdb/") ||
+      under(rel_path, "src/shard/") || under(rel_path, "src/serve/");
+  const bool io_scope =
+      under(rel_path, "src/serve/") || under(rel_path, "src/shard/");
   const bool registry_file = rel_path == "src/obs/span_names.hpp" ||
                              under(rel_path, "src/obs/trace.");
 
@@ -807,17 +1331,24 @@ std::vector<Finding> lint_file(const std::string& rel_path,
 
   const bool needs_stream =
       (rule_enabled(config, "control-coverage") && in_src) ||
-      (rule_enabled(config, "assert-untrusted-index") &&
-       (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/") ||
-        under(rel_path, "src/shard/")));
+      ((rule_enabled(config, "assert-untrusted-index") ||
+        rule_enabled(config, "taint-bounds")) &&
+       untrusted_scope) ||
+      ((rule_enabled(config, "syscall-check") ||
+        rule_enabled(config, "typed-status")) &&
+       io_scope);
   if (needs_stream) {
     const Chars chars = flatten(text);
     if (rule_enabled(config, "control-coverage") && in_src)
       check_control_coverage(chars, text, suppressions, rel_path, out);
-    if (rule_enabled(config, "assert-untrusted-index") &&
-        (under(rel_path, "src/compress/") || under(rel_path, "src/tdb/") ||
-        under(rel_path, "src/shard/")))
+    if (rule_enabled(config, "assert-untrusted-index") && untrusted_scope)
       check_assert_untrusted_index(chars, text, suppressions, rel_path, out);
+    if (rule_enabled(config, "taint-bounds") && untrusted_scope)
+      check_taint_bounds(chars, text, suppressions, rel_path, out);
+    if (rule_enabled(config, "syscall-check") && io_scope)
+      check_syscall_check(chars, text, suppressions, rel_path, out);
+    if (rule_enabled(config, "typed-status") && io_scope)
+      check_typed_status(chars, text, suppressions, rel_path, out);
   }
   if (rule_enabled(config, "span-registry") && in_src && !registry_file)
     check_span_registry(text, suppressions, rel_path, config, out);

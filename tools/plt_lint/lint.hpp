@@ -19,6 +19,25 @@
 //   no-banned-apis         no rand/srand, raw new/delete, std::regex,
 //                          strtok, gets anywhere in the library.
 //
+// Three flow-sensitive rules (S28) run on a per-function statement/branch
+// walker over the same classified stream, with stream order standing in
+// for control flow:
+//
+//   taint-bounds           a value produced by a decode/parse/read call
+//                          (or a Reader out-parameter) must pass a bounds
+//                          check — PLT_ASSERT, branch, std::min/clamp,
+//                          comparison — before it is used as a subscript
+//                          or a length (resize/memcpy/subspan/...).
+//   syscall-check          raw `::syscall(...)` returns in src/serve/ +
+//                          src/shard/ (fork/waitpid/mmap/epoll_ctl/read/
+//                          write/accept/...) must be consumed; statement
+//                          position or (void)-discard needs an allow().
+//   typed-status           catch handlers on failpoint-reachable error
+//                          paths in src/serve/ + src/shard/ must produce
+//                          a typed Status/MineStatus/error response,
+//                          rethrow, return a value, or log — never a bare
+//                          return or a silent drop.
+//
 // The passes work on a character-classified view of each file (comments
 // stripped, string literals tracked), not an AST: robust to any C++ the
 // repo writes, zero build dependencies, and fast enough to run on every
@@ -52,7 +71,7 @@ const std::vector<std::string>& all_rules();
 bool is_rule(const std::string& name);
 
 struct LintConfig {
-  /// Rules to run (default: all five).
+  /// Rules to run (default: all eight).
   std::vector<std::string> rules = all_rules();
   /// Registered span / counter names (from src/obs/span_names.hpp).
   std::vector<std::string> registry_spans;
